@@ -1,0 +1,151 @@
+// Command bparts is the end-to-end binary partitioner: it takes a MIPS
+// SBF binary, runs the decompilation-based partitioning flow, prints the
+// report, and optionally writes the generated VHDL for every hardware
+// region.
+//
+// Usage:
+//
+//	bparts [-mhz 200] [-device XC2V2000] [-alg 90-10|greedy|gclp]
+//	       [-vhdl dir] program.sbf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"binpart/internal/binimg"
+	"binpart/internal/core"
+	"binpart/internal/fpga"
+	"binpart/internal/platform"
+	"binpart/internal/vhdl"
+)
+
+func main() {
+	mhz := flag.Float64("mhz", 200, "CPU clock in MHz")
+	device := flag.String("device", "XC2V2000", "Virtex-II device")
+	alg := flag.String("alg", "90-10", "partitioning algorithm: 90-10, greedy, gclp")
+	whole := flag.Bool("whole", false, "partition whole call-free functions instead of loops")
+	structure := flag.Bool("structure", false, "print recovered control structure per function")
+	jumpTables := flag.Bool("jumptables", false, "enable the indirect-jump (jump table) recovery extension")
+	vhdlDir := flag.String("vhdl", "", "directory to write VHDL for selected regions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bparts [flags] program.sbf")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := binimg.Unmarshal(data)
+	if err != nil {
+		fatal(err)
+	}
+	dev, err := fpga.ByName(*device)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Platform = platform.MIPS(*mhz, dev)
+	switch *alg {
+	case "90-10":
+		opts.Algorithm = core.AlgNinetyTen
+	case "greedy":
+		opts.Algorithm = core.AlgGreedy
+	case "gclp":
+		opts.Algorithm = core.AlgGCLP
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+	if *whole {
+		opts.Granularity = core.GranFunctions
+	}
+	opts.RecoverJumpTables = *jumpTables
+
+	rep, err := core.Run(img, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("platform: %s\n", opts.Platform.Name)
+	fmt.Printf("software-only: %d cycles (%.3f ms), exit code %d\n",
+		rep.SWCycles, rep.Metrics.SWTimeS*1e3, rep.ExitCode)
+	fmt.Printf("recovery: %d functions, %d failed", rep.Recovery.FuncsRecovered, rep.Recovery.FuncsFailed)
+	for name, reason := range rep.Recovery.FailReasons {
+		fmt.Printf("\n  %s: %s", name, reason)
+	}
+	fmt.Println()
+	fmt.Printf("decompiler: %d loops rerolled, %d multiplies promoted, %d stack slots promoted, %d operators narrowed\n",
+		rep.Recovery.RerolledLoops, rep.Recovery.PromotedMultiplies,
+		rep.Recovery.StackSlotsPromoted, rep.Recovery.OpsNarrowed)
+
+	if *structure {
+		fmt.Printf("\nrecovered structure:\n")
+		for _, name := range sortedKeys(rep.Outlines) {
+			fmt.Println(rep.Outlines[name])
+		}
+	}
+
+	fmt.Printf("\ncandidate regions:\n")
+	for _, r := range rep.Regions {
+		mark := " "
+		if r.Selected {
+			mark = fmt.Sprintf("*%d", r.Step)
+		}
+		fmt.Printf("  %-2s %-32s sw=%-9d hw=%-9.0f clk=%.1fns area=%-7d mem=%v\n",
+			mark, r.Name, r.SWCycles, r.HWCycles, r.HWClockNs, r.AreaGates, r.Footprint)
+	}
+
+	m := rep.Metrics
+	fmt.Printf("\npartition (%s, %v):\n", opts.Algorithm, rep.PartitionTime)
+	fmt.Printf("  application speedup: %.2fx\n", m.AppSpeedup)
+	fmt.Printf("  kernel speedup:      %.2fx\n", m.KernelSpeedup)
+	fmt.Printf("  energy savings:      %.1f%%\n", 100*m.EnergySavings)
+	fmt.Printf("  area:                %d equivalent gates\n", m.AreaGates)
+
+	if *vhdlDir != "" {
+		files, err := rep.VHDL()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.MkdirAll(*vhdlDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for name, text := range files {
+			path := filepath.Join(*vhdlDir, name+".vhd")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		for _, r := range rep.SelectedRegions() {
+			tb, err := vhdl.EmitTestbench(r.Design)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*vhdlDir, r.Name+"_tb.vhd")
+			if err := os.WriteFile(path, []byte(tb), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md's experiment index).
+//
+// Usage:
+//
+//	experiments              # everything
+//	experiments -table 1     # one table (1-4)
+//	experiments -figure 1    # the area-sweep figure
+//	experiments -ablation    # partitioner + pass ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"binpart/internal/exper"
+)
+
+func main() {
+	table := flag.Int("table", 0, "run a single table (1-4)")
+	figure := flag.Int("figure", 0, "run a single figure (1)")
+	ablation := flag.Bool("ablation", false, "run the ablation studies")
+	extension := flag.Bool("extension", false, "run the jump-table recovery extension experiment")
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0 && !*ablation && !*extension
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if all || *table == 1 {
+		run("table 1", func() (fmt.Stringer, error) { return wrap(exper.RunTable1()) })
+	}
+	if all || *table == 2 {
+		run("table 2", func() (fmt.Stringer, error) { return wrap(exper.RunTable2()) })
+	}
+	if all || *table == 3 {
+		run("table 3", func() (fmt.Stringer, error) { return wrap(exper.RunTable3()) })
+	}
+	if all || *table == 4 {
+		run("table 4", func() (fmt.Stringer, error) { return wrap(exper.RunTable4()) })
+	}
+	if all || *figure == 1 {
+		run("figure 1", func() (fmt.Stringer, error) { return wrap(exper.RunFigure1()) })
+	}
+	if all || *ablation {
+		run("ablation 1", func() (fmt.Stringer, error) { return wrap(exper.RunPartitionerComparison()) })
+		run("ablation 2", func() (fmt.Stringer, error) { return wrap(exper.RunPassAblation()) })
+	}
+	if all || *extension {
+		run("extension 1", func() (fmt.Stringer, error) { return wrap(exper.RunJumpTableExtension()) })
+	}
+}
+
+// formatter adapts the exper result types to fmt.Stringer.
+type formatter struct{ format func() string }
+
+func (f formatter) String() string { return f.format() }
+
+func wrap[T interface{ Format() string }](v T, err error) (fmt.Stringer, error) {
+	if err != nil {
+		return nil, err
+	}
+	return formatter{v.Format}, nil
+}

@@ -1,0 +1,71 @@
+// Command mcc compiles MicroC source to a MIPS SBF binary.
+//
+// Usage:
+//
+//	mcc [-O level] [-o out.sbf] [-S] input.mc
+//
+// -S disassembles the generated text section to stdout instead of (in
+// addition to) writing the binary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"binpart/internal/mcc"
+	"binpart/internal/mips"
+)
+
+func main() {
+	optLevel := flag.Int("O", 1, "optimization level (0-3)")
+	out := flag.String("o", "", "output file (default: input with .sbf extension)")
+	disasm := flag.Bool("S", false, "print disassembly to stdout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcc [-O level] [-o out.sbf] [-S] input.mc")
+		os.Exit(2)
+	}
+	input := flag.Arg(0)
+	src, err := os.ReadFile(input)
+	if err != nil {
+		fatal(err)
+	}
+	img, err := mcc.Compile(string(src), mcc.Options{OptLevel: *optLevel})
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		for i, w := range img.Text {
+			addr := img.TextBase + uint32(4*i)
+			if s, ok := img.SymbolAt(addr); ok && s.Addr == addr {
+				fmt.Printf("%s:\n", s.Name)
+			}
+			in, err := mips.Decode(w)
+			if err != nil {
+				fmt.Printf("  0x%08x: .word 0x%08x\n", addr, w)
+				continue
+			}
+			fmt.Printf("  0x%08x: %s\n", addr, in)
+		}
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(input, ".mc") + ".sbf"
+	}
+	data, err := img.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mcc: wrote %s (%d text words, %d data bytes, -O%d)\n",
+		path, len(img.Text), len(img.Data), *optLevel)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Device sizing study: find the smallest Virtex-II part that meets a
+// speedup goal for a workload — the procurement question the paper's
+// "different FPGA sizes" evaluation enables.
+//
+//	go run ./examples/fpgasweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"binpart/internal/bench"
+	"binpart/internal/core"
+	"binpart/internal/fpga"
+	"binpart/internal/platform"
+)
+
+const speedupGoal = 8.0
+
+func main() {
+	workload := []string{"fir", "brev", "autcor"}
+	fmt.Printf("workload: %v, goal: %.1fx average speedup\n\n", workload, speedupGoal)
+	fmt.Printf("%-10s %9s %9s %9s   %s\n", "device", "slices", "mult18", "speedup", "verdict")
+
+	var pick string
+	for _, dev := range fpga.Catalog {
+		var sum float64
+		for _, name := range workload {
+			b, ok := bench.ByName(name)
+			if !ok {
+				log.Fatalf("unknown benchmark %s", name)
+			}
+			img, err := b.Compile(1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts := core.DefaultOptions()
+			opts.Platform = platform.MIPS(200, dev)
+			rep, err := core.Run(img, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += rep.Metrics.AppSpeedup
+		}
+		avg := sum / float64(len(workload))
+		verdict := "too small"
+		if avg >= speedupGoal {
+			verdict = "meets goal"
+			if pick == "" {
+				pick = dev.Name
+				verdict = "meets goal  <-- cheapest"
+			}
+		}
+		fmt.Printf("%-10s %9d %9d %8.2fx   %s\n", dev.Name, dev.Slices, dev.Mult18, avg, verdict)
+	}
+	if pick == "" {
+		fmt.Println("\nno device in the catalog meets the goal")
+		return
+	}
+	fmt.Printf("\nrecommended device: %s\n", pick)
+}

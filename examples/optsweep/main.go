@@ -1,0 +1,44 @@
+// Compiler-independence study: partition the SAME program compiled at
+// -O0 through -O3 and compare. This reproduces the paper's key argument —
+// binary-level partitioning works regardless of the compiler's
+// optimization level, and rerolling/promotion undo the harmful ones.
+//
+//	go run ./examples/optsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"binpart/internal/bench"
+	"binpart/internal/core"
+)
+
+func main() {
+	b, ok := bench.ByName("matmul")
+	if !ok {
+		log.Fatal("matmul benchmark missing")
+	}
+	fmt.Printf("benchmark: %s (%s)\n\n", b.Name, b.Description)
+	fmt.Printf("%5s %12s %12s %9s %9s %10s %10s\n",
+		"level", "sw cycles", "binary size", "speedup", "energy", "rerolled", "promoted")
+	for lvl := 0; lvl <= 3; lvl++ {
+		img, err := b.Compile(lvl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := core.Run(img, core.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  -O%d %12d %10dw %8.2fx %8.1f%% %10d %10d\n",
+			lvl, rep.SWCycles, len(img.Text), rep.Metrics.AppSpeedup,
+			100*rep.Metrics.EnergySavings,
+			rep.Recovery.RerolledLoops, rep.Recovery.PromotedMultiplies)
+	}
+	fmt.Println("\nReading the table:")
+	fmt.Println(" - software cycles fall as the compiler optimizes harder;")
+	fmt.Println(" - speedup stays significant at EVERY level (compiler independence);")
+	fmt.Println(" - at -O3 the decompiler rerolls the unrolled loops, and at -O2/-O3 it")
+	fmt.Println("   promotes strength-reduced shift/add chains back into multiplies.")
+}

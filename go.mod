@@ -1,0 +1,3 @@
+module binpart
+
+go 1.22

@@ -1,0 +1,370 @@
+package bench
+
+// MediaBench-style and own-suite benchmark sources.
+
+const srcAdpcm = `
+// MediaBench-style adpcm: IMA ADPCM encoder step over a sample buffer.
+int stepsize[16] = {7, 8, 9, 10, 11, 12, 13, 14,
+	16, 17, 19, 21, 23, 25, 28, 31};
+int pcm[256];
+uchar code[256];
+
+int adpcm_kernel(int n) {
+	int valpred = 0;
+	int index = 0;
+	int i;
+	for (i = 0; i < 256; i++) {
+		int val = pcm[i];
+		int diff = val - valpred;
+		int sign = 0;
+		if (diff < 0) { sign = 8; diff = -diff; }
+		int step = stepsize[index];
+		int delta = 0;
+		int vpdiff = step >> 3;
+		if (diff >= step) { delta = 4; diff -= step; vpdiff += step; }
+		step = step >> 1;
+		if (diff >= step) { delta += 2; diff -= step; vpdiff += step; }
+		step = step >> 1;
+		if (diff >= step) { delta += 1; vpdiff += step; }
+		if (sign) { valpred -= vpdiff; } else { valpred += vpdiff; }
+		if (valpred > 32767) { valpred = 32767; }
+		if (valpred < -32768) { valpred = -32768; }
+		delta |= sign;
+		index += (delta & 7) - 3;
+		if (index < 0) { index = 0; }
+		if (index > 15) { index = 15; }
+		code[i] = (uchar)delta;
+	}
+	return valpred;
+}
+
+
+// Harness helpers: keeping data generation and checksum folding in small
+// functions mirrors real benchmark harnesses and leaves the glue loops in
+// software (loops with calls are not hardware candidates).
+int lcg(int s) { return s * 1103 + 12345; }
+int fold(int c, int v) { return (c + v) ^ (c >> 9); }
+
+int main() {
+	int i;
+	int seed = 55;
+	for (i = 0; i < 256; i++) {
+		seed = lcg(seed);
+		pcm[i] = ((seed >> 8) & 2047) - 1024;
+	}
+	int frame;
+	int total = 0;
+	for (frame = 0; frame < 6; frame++) {
+		total += adpcm_kernel(256);
+	}
+	int chk = total;
+	for (i = 0; i < 256; i++) { chk = fold(chk, (int)code[i]); }
+	return chk & 0xffff;
+}
+`
+
+const srcG721 = `
+// MediaBench-style g721: adaptive predictor coefficient update (sign-sign
+// LMS over the two-pole, six-zero filter state).
+int dq[6];
+int b[6];
+int sez[128];
+int input[128];
+
+int g721_kernel(int n) {
+	int i;
+	int acc = 0;
+	for (i = 0; i < 128; i++) {
+		int d = input[i];
+		int sum = 0;
+		int k;
+		for (k = 0; k < 6; k++) {
+			sum += (b[k] * dq[k]) >> 8;
+		}
+		sez[i] = sum;
+		int err = d - sum;
+		for (k = 0; k < 6; k++) {
+			int adj = 0;
+			if (err > 0 && dq[k] > 0) { adj = 32; }
+			if (err > 0 && dq[k] < 0) { adj = -32; }
+			if (err < 0 && dq[k] > 0) { adj = -32; }
+			if (err < 0 && dq[k] < 0) { adj = 32; }
+			b[k] = b[k] - (b[k] >> 8) + adj;
+		}
+		int j;
+		for (j = 5; j > 0; j--) { dq[j] = dq[j - 1]; }
+		dq[0] = err >> 2;
+		acc += sum;
+	}
+	return acc;
+}
+
+
+// Harness helpers: keeping data generation and checksum folding in small
+// functions mirrors real benchmark harnesses and leaves the glue loops in
+// software (loops with calls are not hardware candidates).
+int lcg(int s) { return s * 1103 + 12345; }
+int fold(int c, int v) { return (c + v) ^ (c >> 9); }
+
+int main() {
+	int i;
+	for (i = 0; i < 6; i++) { dq[i] = 0; b[i] = 0; }
+	int seed = 202;
+	for (i = 0; i < 128; i++) {
+		seed = lcg(seed);
+		input[i] = ((seed >> 7) & 511) - 256;
+	}
+	int frame;
+	int total = 0;
+	for (frame = 0; frame < 6; frame++) {
+		total += g721_kernel(128);
+	}
+	return total & 0xffff;
+}
+`
+
+const srcJpeg = `
+// MediaBench-style jpeg: 8-point 1-D forward DCT (LLM-style butterflies
+// with fixed-point constants) applied to each row of a tile.
+int block[64];
+int coef[64];
+
+void dct_kernel(int n) {
+	int row;
+	for (row = 0; row < 8; row++) {
+		int base = row * 8;
+		int s07 = block[base + 0] + block[base + 7];
+		int d07 = block[base + 0] - block[base + 7];
+		int s16 = block[base + 1] + block[base + 6];
+		int d16 = block[base + 1] - block[base + 6];
+		int s25 = block[base + 2] + block[base + 5];
+		int d25 = block[base + 2] - block[base + 5];
+		int s34 = block[base + 3] + block[base + 4];
+		int d34 = block[base + 3] - block[base + 4];
+		int a0 = s07 + s34;
+		int a1 = s16 + s25;
+		int a2 = s07 - s34;
+		int a3 = s16 - s25;
+		coef[base + 0] = (a0 + a1) >> 1;
+		coef[base + 4] = (a0 - a1) >> 1;
+		coef[base + 2] = (a2 * 17 + a3 * 7) >> 5;
+		coef[base + 6] = (a2 * 7 - a3 * 17) >> 5;
+		coef[base + 1] = (d07 * 23 + d16 * 19 + d25 * 13 + d34 * 4) >> 5;
+		coef[base + 3] = (d07 * 19 - d16 * 4 - d25 * 23 - d34 * 13) >> 5;
+		coef[base + 5] = (d07 * 13 - d16 * 23 + d25 * 4 + d34 * 19) >> 5;
+		coef[base + 7] = (d07 * 4 - d16 * 13 + d25 * 19 - d34 * 23) >> 5;
+	}
+}
+
+
+// Harness helpers: keeping data generation and checksum folding in small
+// functions mirrors real benchmark harnesses and leaves the glue loops in
+// software (loops with calls are not hardware candidates).
+int lcg(int s) { return s * 1103 + 12345; }
+int fold(int c, int v) { return (c + v) ^ (c >> 9); }
+
+int main() {
+	int i;
+	int seed = 88;
+	for (i = 0; i < 64; i++) {
+		seed = lcg(seed);
+		block[i] = ((seed >> 6) & 255) - 128;
+	}
+	int frame;
+	for (frame = 0; frame < 16; frame++) {
+		dct_kernel(8);
+	}
+	int chk = 0;
+	for (i = 0; i < 64; i++) { chk = fold(chk, coef[i]); }
+	return chk & 0xffff;
+}
+`
+
+const srcMpeg2 = `
+// MediaBench-style mpeg2: motion-estimation sum of absolute differences
+// between a reference macroblock and candidate positions.
+uchar refblk[256];
+uchar cur[320];
+int sads[16];
+
+int sad_kernel(int n) {
+	int pos;
+	int best = 1 << 30;
+	for (pos = 0; pos < 16; pos++) {
+		int sum = 0;
+		int i;
+		for (i = 0; i < 256; i++) {
+			int d = (int)cur[i + pos] - (int)refblk[i];
+			if (d < 0) { d = -d; }
+			sum += d;
+		}
+		sads[pos] = sum;
+		if (sum < best) { best = sum; }
+	}
+	return best;
+}
+
+
+// Harness helpers: keeping data generation and checksum folding in small
+// functions mirrors real benchmark harnesses and leaves the glue loops in
+// software (loops with calls are not hardware candidates).
+int lcg(int s) { return s * 1103 + 12345; }
+int fold(int c, int v) { return (c + v) ^ (c >> 9); }
+
+int main() {
+	int i;
+	int seed = 13;
+	for (i = 0; i < 256; i++) {
+		seed = lcg(seed);
+		refblk[i] = (uchar)(seed >> 8);
+	}
+	for (i = 0; i < 320; i++) {
+		seed = lcg(seed);
+		cur[i] = (uchar)(seed >> 8);
+	}
+	int frame;
+	int total = 0;
+	for (frame = 0; frame < 3; frame++) {
+		total += sad_kernel(16);
+	}
+	return total & 0xffff;
+}
+`
+
+const srcBrev = `
+// Own suite: bit reversal of every word in a buffer (the warp-processing
+// favourite: pure bit-level parallelism).
+uint buf[128];
+
+void brev_kernel(int n) {
+	int i;
+	for (i = 0; i < 128; i++) {
+		uint x = buf[i];
+		x = ((x & 0x55555555) << 1) | ((x >> 1) & 0x55555555);
+		x = ((x & 0x33333333) << 2) | ((x >> 2) & 0x33333333);
+		x = ((x & 0x0f0f0f0f) << 4) | ((x >> 4) & 0x0f0f0f0f);
+		x = ((x & 0x00ff00ff) << 8) | ((x >> 8) & 0x00ff00ff);
+		x = (x << 16) | (x >> 16);
+		buf[i] = x;
+	}
+}
+
+
+// Harness helpers: keeping data generation and checksum folding in small
+// functions mirrors real benchmark harnesses and leaves the glue loops in
+// software (loops with calls are not hardware candidates).
+int lcg(int s) { return s * 1103 + 12345; }
+int fold(int c, int v) { return (c + v) ^ (c >> 9); }
+
+int main() {
+	int i;
+	uint seed = 424242;
+	for (i = 0; i < 128; i++) {
+		seed = seed * 1103515245 + 12345;
+		buf[i] = seed;
+	}
+	int pass;
+	for (pass = 0; pass < 12; pass++) {
+		brev_kernel(128);
+	}
+	int chk = 0;
+	for (i = 0; i < 128; i++) { chk = fold(chk, (int)(buf[i] >> 12)); }
+	return chk & 0xffff;
+}
+`
+
+const srcMatmul = `
+// Own suite: dense 12x12 integer matrix multiply (flattened indexing).
+int ma[144];
+int mb[144];
+int mc[144];
+
+void matmul_kernel(int n) {
+	int i;
+	for (i = 0; i < 12; i++) {
+		int j;
+		for (j = 0; j < 12; j++) {
+			int acc = 0;
+			int k;
+			for (k = 0; k < 12; k++) {
+				acc += ma[i * 12 + k] * mb[k * 12 + j];
+			}
+			mc[i * 12 + j] = acc;
+		}
+	}
+}
+
+
+// Harness helpers: keeping data generation and checksum folding in small
+// functions mirrors real benchmark harnesses and leaves the glue loops in
+// software (loops with calls are not hardware candidates).
+int lcg(int s) { return s * 1103 + 12345; }
+int fold(int c, int v) { return (c + v) ^ (c >> 9); }
+
+int main() {
+	int i;
+	int seed = 9;
+	for (i = 0; i < 144; i++) {
+		seed = lcg(seed);
+		ma[i] = (seed >> 6) & 63;
+		seed = lcg(seed);
+		mb[i] = (seed >> 6) & 63;
+	}
+	int pass;
+	for (pass = 0; pass < 5; pass++) {
+		matmul_kernel(12);
+	}
+	int chk = 0;
+	for (i = 0; i < 144; i++) { chk = fold(chk, mc[i]); }
+	return chk & 0xffff;
+}
+`
+
+const srcSobel = `
+// Own suite: Sobel edge detection over a 16x16 grayscale tile
+// (3x3 convolution with |gx|+|gy| magnitude).
+uchar img[256];
+uchar edges[256];
+
+void sobel_kernel(int n) {
+	int y;
+	for (y = 1; y < 15; y++) {
+		int x;
+		for (x = 1; x < 15; x++) {
+			int p = y * 16 + x;
+			int gx = (int)img[p - 17] + 2 * (int)img[p - 1] + (int)img[p + 15]
+				- (int)img[p - 15] - 2 * (int)img[p + 1] - (int)img[p + 17];
+			int gy = (int)img[p - 17] + 2 * (int)img[p - 16] + (int)img[p - 15]
+				- (int)img[p + 15] - 2 * (int)img[p + 16] - (int)img[p + 17];
+			if (gx < 0) { gx = -gx; }
+			if (gy < 0) { gy = -gy; }
+			int mag = gx + gy;
+			if (mag > 255) { mag = 255; }
+			edges[p] = (uchar)mag;
+		}
+	}
+}
+
+
+// Harness helpers: keeping data generation and checksum folding in small
+// functions mirrors real benchmark harnesses and leaves the glue loops in
+// software (loops with calls are not hardware candidates).
+int lcg(int s) { return s * 1103 + 12345; }
+int fold(int c, int v) { return (c + v) ^ (c >> 9); }
+
+int main() {
+	int i;
+	int seed = 321;
+	for (i = 0; i < 256; i++) {
+		seed = lcg(seed);
+		img[i] = (uchar)(seed >> 7);
+	}
+	int frame;
+	for (frame = 0; frame < 8; frame++) {
+		sobel_kernel(16);
+	}
+	int chk = 0;
+	for (i = 0; i < 256; i++) { chk = fold(chk, (int)edges[i]); }
+	return chk & 0xffff;
+}
+`

@@ -1,0 +1,152 @@
+package binimg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleImage() *Image {
+	im := &Image{
+		Entry:    DefaultTextBase,
+		TextBase: DefaultTextBase,
+		Text:     []uint32{0x27bdfff8, 0xafbf0000, 0x03e00008, 0x0000000d},
+		DataBase: DefaultDataBase,
+		Data:     []byte{1, 2, 3, 4, 5},
+		Symbols: []Symbol{
+			{Name: "main", Addr: DefaultTextBase, Size: 12},
+			{Name: "kernel", Addr: DefaultTextBase + 12, Size: 4},
+		},
+	}
+	return im
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	im := sampleImage()
+	b, err := im.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(im, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, im)
+	}
+}
+
+func TestMarshalUnmarshalProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		im := &Image{
+			Entry:    r.Uint32(),
+			TextBase: r.Uint32() &^ 3,
+			DataBase: r.Uint32(),
+		}
+		for i, n := 0, r.Intn(64); i < n; i++ {
+			im.Text = append(im.Text, r.Uint32())
+		}
+		for i, n := 0, r.Intn(64); i < n; i++ {
+			im.Data = append(im.Data, byte(r.Uint32()))
+		}
+		for i, n := 0, r.Intn(5); i < n; i++ {
+			im.Symbols = append(im.Symbols, Symbol{
+				Name: string(rune('a' + i)),
+				Addr: uint32(i * 8),
+				Size: uint32(r.Intn(100)),
+			})
+		}
+		b, err := im.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		// Empty slices may round-trip as nil; normalize.
+		if len(im.Text) == 0 {
+			im.Text = back.Text
+		}
+		if len(im.Data) == 0 {
+			im.Data = back.Data
+		}
+		return reflect.DeepEqual(im, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	im := sampleImage()
+	good, err := im.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      append([]byte("XXXX"), good[4:]...),
+		"truncated head": good[:10],
+		"truncated text": good[:30],
+		"huge text":      func() []byte { b := append([]byte(nil), good...); b[12] = 0xff; b[13] = 0xff; b[14] = 0xff; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("%s: Unmarshal succeeded, want error", name)
+		}
+	}
+}
+
+func TestWordAt(t *testing.T) {
+	im := sampleImage()
+	w, err := im.WordAt(DefaultTextBase + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0x03e00008 {
+		t.Errorf("WordAt = 0x%08x, want jr $ra", w)
+	}
+	if _, err := im.WordAt(DefaultTextBase + 1); err == nil {
+		t.Error("misaligned WordAt succeeded")
+	}
+	if _, err := im.WordAt(DefaultTextBase + 100); err == nil {
+		t.Error("out-of-range WordAt succeeded")
+	}
+}
+
+func TestSymbolLookup(t *testing.T) {
+	im := sampleImage()
+	s, ok := im.SymbolAt(DefaultTextBase + 4)
+	if !ok || s.Name != "main" {
+		t.Errorf("SymbolAt(main+4) = %+v,%v", s, ok)
+	}
+	s, ok = im.SymbolAt(DefaultTextBase + 12)
+	if !ok || s.Name != "kernel" {
+		t.Errorf("SymbolAt(kernel) = %+v,%v", s, ok)
+	}
+	if _, ok := im.SymbolAt(DefaultTextBase + 100); ok {
+		t.Error("SymbolAt past end of sized symbol succeeded")
+	}
+	if _, ok := im.Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+	if s, ok := im.Lookup("kernel"); !ok || s.Addr != DefaultTextBase+12 {
+		t.Errorf("Lookup(kernel) = %+v,%v", s, ok)
+	}
+}
+
+func TestSectionBounds(t *testing.T) {
+	im := sampleImage()
+	if im.TextEnd() != DefaultTextBase+16 {
+		t.Errorf("TextEnd = 0x%x", im.TextEnd())
+	}
+	if im.DataEnd() != DefaultDataBase+5 {
+		t.Errorf("DataEnd = 0x%x", im.DataEnd())
+	}
+	if !im.InText(DefaultTextBase) || im.InText(DefaultTextBase+16) {
+		t.Error("InText bounds wrong")
+	}
+}

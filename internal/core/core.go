@@ -1,0 +1,488 @@
+// Package core is this repository's primary contribution: the paper's
+// decompilation-based binary-level hardware/software partitioning flow,
+// assembled from the substrate packages into one pipeline:
+//
+//	binary ──simulate/profile──► hot spots
+//	   │
+//	   └─decompile──► CDFG ──decompiler optimizations──► clean CDFG
+//	          │                                             │
+//	          └── control structure recovery                │
+//	                                                        ▼
+//	     candidates (loops + times + areas + footprints) ──► partitioner
+//	                                                        │
+//	                 behavioral synthesis + Virtex-II model ◄┘
+//	                                                        │
+//	                   platform evaluation (speedup/energy) ▼ + VHDL
+//
+// The tool is compiler-independent by construction: its only input is an
+// SBF binary image, no matter which source language or compiler (or
+// optimization level) produced it.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"binpart/internal/alias"
+	"binpart/internal/binimg"
+	"binpart/internal/decompile"
+	"binpart/internal/dopt"
+	"binpart/internal/fpga"
+	"binpart/internal/ir"
+	"binpart/internal/partition"
+	"binpart/internal/platform"
+	"binpart/internal/sim"
+	"binpart/internal/synth"
+	"binpart/internal/vhdl"
+)
+
+// Algorithm selects the partitioning heuristic.
+type Algorithm int
+
+const (
+	AlgNinetyTen Algorithm = iota // the paper's 3-step heuristic
+	AlgGreedy                     // Henkel-style gain/area knapsack
+	AlgGCLP                       // simplified Kalavade/Lee
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgNinetyTen:
+		return "90-10"
+	case AlgGreedy:
+		return "greedy"
+	case AlgGCLP:
+		return "gclp"
+	}
+	return "unknown"
+}
+
+// Granularity selects the regions offered to the partitioner.
+type Granularity int
+
+const (
+	// GranLoops offers outermost loops (the paper's default flow).
+	GranLoops Granularity = iota
+	// GranFunctions offers whole call-free functions, supporting the
+	// paper's "synthesizing an entire software application, not just
+	// kernels" use.
+	GranFunctions
+)
+
+// Options configures a partitioning run.
+type Options struct {
+	Platform platform.Platform
+	// AreaBudgetGates caps the hardware partition; 0 means the
+	// platform device's full logic capacity.
+	AreaBudgetGates int
+	Partition       partition.Options
+	Synth           synth.Options
+	Dopt            dopt.Config
+	Algorithm       Algorithm
+	Granularity     Granularity
+	// RecoverJumpTables enables the indirect-jump extension in the
+	// decompiler (off by default, matching the paper's 18/20 result).
+	RecoverJumpTables bool
+	Sim               sim.Config
+}
+
+// DefaultOptions targets the paper's 200 MHz MIPS + XC2V2000 platform.
+func DefaultOptions() Options {
+	cfg := sim.DefaultConfig()
+	cfg.Profile = true
+	return Options{
+		Platform:  platform.MIPS200,
+		Partition: partition.DefaultOptions(),
+		Synth:     synth.DefaultOptions(),
+		Sim:       cfg,
+	}
+}
+
+// RegionReport describes one hardware candidate after synthesis.
+type RegionReport struct {
+	Name        string
+	Func        string
+	SWCycles    uint64
+	HWCycles    float64
+	HWClockNs   float64
+	Invocations uint64
+	AreaGates   int
+	Footprint   []string
+	Selected    bool
+	Step        int // partitioning step that chose it (0 if unselected)
+	Design      *synth.Design
+}
+
+// RecoveryStats aggregates control-structure recovery over the binary.
+type RecoveryStats struct {
+	FuncsRecovered int
+	FuncsFailed    int
+	FailReasons    map[string]string
+	LoopsFound     int
+	LoopsShaped    int // classified as while/do-while/self
+	IfsFound       int
+	IfsShaped      int
+	// RerolledLoops and PromotedMultiplies summarize the
+	// compiler-optimization-undoing passes.
+	RerolledLoops      int
+	PromotedMultiplies int
+	StackSlotsPromoted int
+	OpsNarrowed        int
+}
+
+// Report is the full outcome of a partitioning run.
+type Report struct {
+	Options  Options
+	ExitCode int32
+	// SWCycles is the all-software cycle count from simulation.
+	SWCycles uint64
+	Regions  []*RegionReport
+	Metrics  platform.Metrics
+	Recovery RecoveryStats
+	// PartitionTime is how long candidate selection took (the paper
+	// stresses fast partitioning for dynamic-synthesis integration).
+	PartitionTime time.Duration
+	// DoptReports holds the per-function decompiler-optimization logs.
+	DoptReports map[string]dopt.Report
+	// Outlines renders each recovered function's control structure
+	// (loops, induction variables, conditionals) as text.
+	Outlines map[string]string
+}
+
+// SelectedRegions returns the regions chosen for hardware.
+func (r *Report) SelectedRegions() []*RegionReport {
+	var out []*RegionReport
+	for _, reg := range r.Regions {
+		if reg.Selected {
+			out = append(out, reg)
+		}
+	}
+	return out
+}
+
+// VHDL emits the RTL for every selected region, keyed by region name.
+func (r *Report) VHDL() (map[string]string, error) {
+	out := map[string]string{}
+	for _, reg := range r.SelectedRegions() {
+		text, err := vhdl.Emit(reg.Design)
+		if err != nil {
+			return nil, err
+		}
+		out[reg.Name] = text
+	}
+	return out, nil
+}
+
+// Run executes the full flow on a binary image.
+func Run(img *binimg.Image, opts Options) (*Report, error) {
+	if opts.Platform.CPUMHz == 0 {
+		opts.Platform = platform.MIPS200
+	}
+	if opts.AreaBudgetGates == 0 {
+		opts.AreaBudgetGates = fpga.Area{
+			Slices: opts.Platform.Device.Slices,
+			Mult18: opts.Platform.Device.Mult18,
+		}.GateEquivalent()
+	}
+	opts.Sim.Profile = true
+	rep := &Report{
+		Options:     opts,
+		DoptReports: map[string]dopt.Report{},
+		Outlines:    map[string]string{},
+	}
+
+	// 1. Profile the all-software execution.
+	res, err := sim.Execute(img, opts.Sim)
+	if err != nil {
+		return nil, fmt.Errorf("core: software simulation: %w", err)
+	}
+	rep.ExitCode = res.ExitCode
+	rep.SWCycles = res.Cycles
+	cycAt := sim.AttributeCycles(img, res.Profile, opts.Sim.Cycles)
+
+	// 2. Decompile.
+	dec, err := decompile.DecompileWith(img, decompile.Options{RecoverJumpTables: opts.RecoverJumpTables})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rep.Recovery.FailReasons = map[string]string{}
+	for name, ferr := range dec.Failed {
+		rep.Recovery.FuncsFailed++
+		rep.Recovery.FailReasons[name] = ferr.Error()
+	}
+
+	// 3. Decompiler optimizations + structure recovery per function.
+	rerollFactors := map[string]map[int]int{}
+	for _, f := range dec.Funcs {
+		rep.Recovery.FuncsRecovered++
+		dr := dopt.OptimizeWith(f, opts.Dopt)
+		rep.DoptReports[f.Name] = dr
+		rerollFactors[f.Name] = dr.Reroll.Factors
+		rep.Recovery.RerolledLoops += len(dr.Reroll.Rerolled)
+		rep.Recovery.PromotedMultiplies += dr.Promote.Multiplies
+		rep.Recovery.StackSlotsPromoted += dr.Stack.SlotsPromoted
+		rep.Recovery.OpsNarrowed += dr.Width.OpsNarrowed
+
+		st := ir.Recover(f)
+		sig := fmt.Sprintf("  signature: %s(%d args)", f.Name, dopt.InferParams(f))
+		if dopt.InferReturns(f) {
+			sig += " -> value"
+		}
+		rep.Outlines[f.Name] = st.Outline(f) + sig + "\n"
+		for _, l := range st.Loops {
+			rep.Recovery.LoopsFound++
+			if l.Shape != ir.LoopOther {
+				rep.Recovery.LoopsShaped++
+			}
+		}
+		for _, i := range st.Ifs {
+			rep.Recovery.IfsFound++
+			if i.Shape != ir.IfUnstructured {
+				rep.Recovery.IfsShaped++
+			}
+		}
+	}
+
+	// 4. Build candidates: outermost loops (default), or whole call-free
+	// functions when running at function granularity.
+	var cands []*partition.Candidate
+	addCand := func(rr *RegionReport, sizeInstrs int) {
+		rep.Regions = append(rep.Regions, rr)
+		cands = append(cands, &partition.Candidate{
+			Name:       rr.Name,
+			SWTimeNs:   float64(rr.SWCycles) / opts.Platform.CPUMHz * 1000,
+			HWTimeNs:   rr.HWCycles*rr.HWClockNs + float64(rr.Invocations*opts.Platform.CommCPUCycles)/opts.Platform.CPUMHz*1000,
+			AreaGates:  rr.AreaGates,
+			Footprint:  rr.Footprint,
+			SizeInstrs: sizeInstrs,
+			IsLoop:     true,
+			Payload:    rr,
+		})
+	}
+	for _, f := range dec.Funcs {
+		if f.Name == "_start" {
+			continue
+		}
+		extents := blockExtents(f, img)
+		if opts.Granularity == GranFunctions {
+			rr, err := buildFuncCandidate(f, img, extents, res.Profile, cycAt, rerollFactors[f.Name], opts)
+			if err == nil && rr != nil {
+				addCand(rr, f.NumInstrs())
+			}
+			continue
+		}
+		loops := ir.FindLoops(f)
+		for _, l := range loops {
+			if l.Depth != 1 || !synthesizable(l) {
+				continue
+			}
+			rr, err := buildCandidate(f, l, img, extents, res.Profile, cycAt, rerollFactors[f.Name], opts)
+			if err != nil || rr == nil {
+				continue
+			}
+			addCand(rr, l.NumInstrs())
+		}
+	}
+	sort.Slice(rep.Regions, func(i, j int) bool { return rep.Regions[i].SWCycles > rep.Regions[j].SWCycles })
+
+	// 5. Partition (timed: the paper's heuristic targets dynamic use).
+	start := time.Now()
+	var pres *partition.Result
+	switch opts.Algorithm {
+	case AlgGreedy:
+		pres = partition.GreedyKnapsack(cands, opts.AreaBudgetGates)
+	case AlgGCLP:
+		pres = partition.GCLP(cands, opts.AreaBudgetGates)
+	default:
+		pres = partition.Partition(cands, opts.AreaBudgetGates, opts.Partition)
+	}
+	rep.PartitionTime = time.Since(start)
+
+	// 6. Evaluate on the platform.
+	var regions []platform.Region
+	for _, c := range pres.Selected {
+		rr := c.Payload.(*RegionReport)
+		rr.Selected = true
+		rr.Step = pres.Step[c.Name]
+		regions = append(regions, platform.Region{
+			Name:        rr.Name,
+			SWCycles:    rr.SWCycles,
+			HWCycles:    rr.HWCycles,
+			HWClockNs:   rr.HWClockNs,
+			Invocations: rr.Invocations,
+			AreaGates:   rr.AreaGates,
+			ActiveGates: rr.AreaGates,
+		})
+	}
+	rep.Metrics = opts.Platform.Evaluate(res.Cycles, regions)
+	return rep, nil
+}
+
+// buildFuncCandidate synthesizes an entire call-free function as one
+// hardware region.
+func buildFuncCandidate(f *ir.Func, img *binimg.Image,
+	extents map[int][2]uint32, prof *sim.Profile, cycAt map[uint32]uint64,
+	rerollFactors map[int]int, opts Options) (*RegionReport, error) {
+
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Call || (in.Op == ir.IJump && in.Table == nil) {
+				return nil, nil // not synthesizable as a whole
+			}
+		}
+	}
+	var swCycles uint64
+	blockExecs := map[int]uint64{}
+	for _, b := range f.Blocks {
+		ext := extents[b.Index]
+		for pc := ext[0]; pc < ext[1]; pc += 4 {
+			swCycles += cycAt[pc]
+		}
+		execs := prof.InstCount[ext[0]]
+		if k, ok := rerollFactors[b.Index]; ok && k > 1 {
+			execs *= uint64(k)
+		}
+		blockExecs[b.Index] = execs
+	}
+	if swCycles == 0 {
+		return nil, nil
+	}
+	invocations := prof.InstCount[f.Entry]
+	if invocations == 0 {
+		invocations = 1
+	}
+	d, err := synth.Synthesize(synth.FuncRegion(f), img, opts.Synth)
+	if err != nil {
+		return nil, err
+	}
+	am := alias.Analyze(f, img)
+	fp, _ := am.FuncFootprint(f)
+	return &RegionReport{
+		Name:        d.Name,
+		Func:        f.Name,
+		SWCycles:    swCycles,
+		HWCycles:    d.Cycles(blockExecs),
+		HWClockNs:   d.ClockNs,
+		Invocations: invocations,
+		AreaGates:   d.GateEquivalent(),
+		Footprint:   fp,
+		Design:      d,
+	}, nil
+}
+
+// synthesizable rejects loops containing calls or unresolved indirect
+// jumps.
+func synthesizable(l *ir.Loop) bool {
+	for _, b := range l.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Call || (in.Op == ir.IJump && in.Table == nil) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// blockExtents computes each block's original address range [start,end).
+func blockExtents(f *ir.Func, img *binimg.Image) map[int][2]uint32 {
+	starts := make([]uint32, len(f.Blocks))
+	for i, b := range f.Blocks {
+		starts[i] = b.Start
+	}
+	end := img.TextEnd()
+	if s, ok := img.SymbolAt(f.Entry); ok && s.Size > 0 {
+		end = s.Addr + s.Size
+	}
+	out := map[int][2]uint32{}
+	for i, b := range f.Blocks {
+		e := end
+		if i+1 < len(f.Blocks) {
+			e = starts[i+1]
+		}
+		out[b.Index] = [2]uint32{b.Start, e}
+	}
+	return out
+}
+
+// buildCandidate synthesizes one loop region and gathers its profile
+// numbers.
+func buildCandidate(f *ir.Func, l *ir.Loop, img *binimg.Image,
+	extents map[int][2]uint32, prof *sim.Profile, cycAt map[uint32]uint64,
+	rerollFactors map[int]int, opts Options) (*RegionReport, error) {
+
+	// Software cycles and block execution counts from the profile.
+	var swCycles uint64
+	blockExecs := map[int]uint64{}
+	for idx := range l.Blocks {
+		ext := extents[idx]
+		for pc := ext[0]; pc < ext[1]; pc += 4 {
+			swCycles += cycAt[pc]
+		}
+		execs := prof.InstCount[ext[0]]
+		if k, ok := rerollFactors[idx]; ok && k > 1 {
+			execs *= uint64(k)
+		}
+		blockExecs[idx] = execs
+	}
+	if swCycles == 0 {
+		return nil, nil // never executed; not a candidate
+	}
+
+	// Invocations: header executions minus re-entries from inside the
+	// loop. Taken branches are in the edge profile; fallthrough and
+	// unconditional flows contribute the predecessor's execution count.
+	takenFrom := map[uint32]uint64{}
+	for e, n := range prof.EdgeCount {
+		takenFrom[e.From] += n
+	}
+	headerExecs := prof.InstCount[l.Header.Start]
+	var backFlow uint64
+	for _, p := range l.Header.Preds {
+		if !l.Contains(p.Index) {
+			continue
+		}
+		execs := prof.InstCount[p.Start]
+		t := p.Terminator()
+		switch {
+		case t == nil:
+			backFlow += execs
+		case t.Op == ir.Jump:
+			backFlow += execs
+		case t.Op == ir.Branch:
+			taken := prof.EdgeCount[sim.Edge{From: t.Addr, To: l.Header.Start}]
+			if t.Target == l.Header.Start {
+				backFlow += taken
+			} else if execs >= takenFrom[t.Addr] {
+				backFlow += execs - takenFrom[t.Addr]
+			}
+		default:
+			backFlow += execs
+		}
+	}
+	invocations := uint64(1)
+	if headerExecs > backFlow {
+		invocations = headerExecs - backFlow
+	}
+
+	d, err := synth.Synthesize(synth.LoopRegion(f, l), img, opts.Synth)
+	if err != nil {
+		return nil, err
+	}
+	am := alias.Analyze(f, img)
+	fp, _ := am.Footprint(l.Blocks)
+
+	return &RegionReport{
+		Name:        d.Name,
+		Func:        f.Name,
+		SWCycles:    swCycles,
+		HWCycles:    d.Cycles(blockExecs),
+		HWClockNs:   d.ClockNs,
+		Invocations: invocations,
+		AreaGates:   d.GateEquivalent(),
+		Footprint:   fp,
+		Design:      d,
+	}, nil
+}

@@ -1,0 +1,143 @@
+package decompile
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"binpart/internal/binimg"
+	"binpart/internal/mips"
+)
+
+// maxTableSpan bounds how many entries a recovered jump table may have; a
+// larger "table" is more likely a misidentified data structure.
+const maxTableSpan = 1024
+
+// jtScanWindow bounds how far back from the jr the idiom matcher looks.
+// The idiom is emitted contiguously by compilers; a wider window would
+// only add false positives.
+const jtScanWindow = 16
+
+// resolveJumpTable recognizes the standard switch jump-table idiom ending
+// in instruction j (a jr through a non-$ra register) and returns the
+// resolved target addresses:
+//
+//	sltiu rC, rIdx, span      ; bound check
+//	beq   rC, $zero, default
+//	sll   rOff, rIdx, 2
+//	lui/ori rBase, table      ; constant table address
+//	addu  rAddr, rBase, rOff
+//	lw    rT, 0(rAddr)
+//	jr    rT
+//
+// Register names and exact ordering vary with the register allocator, so
+// the matcher traces definitions backwards instead of matching positions.
+func resolveJumpTable(img *binimg.Image, insts []mips.Inst, j int, fn funcSpan) ([]uint32, error) {
+	lo := j - jtScanWindow
+	if lo < 0 {
+		lo = 0
+	}
+	// findDef returns the index of the latest definition of reg before
+	// idx, or -1.
+	findDef := func(reg mips.Reg, idx int) int {
+		for i := idx - 1; i >= lo; i-- {
+			if d, ok := insts[i].Dest(); ok && d == reg {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// constOf resolves a register to a compile-time constant by walking
+	// lui/ori/addiu chains backwards.
+	var constOf func(reg mips.Reg, idx int, depth int) (uint32, error)
+	constOf = func(reg mips.Reg, idx int, depth int) (uint32, error) {
+		if reg == mips.Zero {
+			return 0, nil
+		}
+		if depth == 0 {
+			return 0, fmt.Errorf("const chain too deep")
+		}
+		d := findDef(reg, idx)
+		if d < 0 {
+			return 0, fmt.Errorf("no definition of %v in window", reg)
+		}
+		in := insts[d]
+		switch in.Op {
+		case mips.LUI:
+			return uint32(in.Imm) << 16, nil
+		case mips.ORI:
+			base, err := constOf(in.Rs, d, depth-1)
+			if err != nil {
+				return 0, err
+			}
+			return base | uint32(uint16(in.Imm)), nil
+		case mips.ADDIU, mips.ADDI:
+			base, err := constOf(in.Rs, d, depth-1)
+			if err != nil {
+				return 0, err
+			}
+			return base + uint32(in.Imm), nil
+		}
+		return 0, fmt.Errorf("%v is not constant (defined by %v)", reg, in)
+	}
+
+	// Step 1: the jr's register must come from a word load.
+	ld := findDef(insts[j].Rs, j)
+	if ld < 0 || insts[ld].Op != mips.LW {
+		return nil, fmt.Errorf("target is not a table load")
+	}
+	loadOff := uint32(insts[ld].Imm)
+
+	// Step 2: the load address is base + scaled index with a constant
+	// data-section base — or, when the switch tag was constant-folded, a
+	// direct constant address (a single-entry "table").
+	var tableAddr uint32
+	span := -1
+	if v, err := constOf(insts[ld].Rs, ld, 4); err == nil {
+		tableAddr = v + loadOff
+		span = 1
+	} else {
+		ad := findDef(insts[ld].Rs, ld)
+		if ad < 0 || insts[ad].Op != mips.ADDU {
+			return nil, fmt.Errorf("table address is not base+offset")
+		}
+		resolved := false
+		for _, side := range []mips.Reg{insts[ad].Rs, insts[ad].Rt} {
+			if v, err := constOf(side, ad, 4); err == nil {
+				tableAddr = v + loadOff
+				resolved = true
+				break
+			}
+		}
+		if !resolved {
+			return nil, fmt.Errorf("no constant table base")
+		}
+
+		// Step 3: the bound check gives the table span.
+		for i := j - 1; i >= lo; i-- {
+			if insts[i].Op == mips.SLTIU && insts[i].Imm > 0 {
+				span = int(insts[i].Imm)
+				break
+			}
+		}
+	}
+	if span <= 0 || span > maxTableSpan {
+		return nil, fmt.Errorf("no plausible bound check")
+	}
+
+	// Step 4: read and validate the entries.
+	if tableAddr < img.DataBase || tableAddr%4 != 0 ||
+		uint64(tableAddr)+uint64(4*span) > uint64(img.DataEnd()) {
+		return nil, fmt.Errorf("table [0x%x,+%d) outside data section", tableAddr, 4*span)
+	}
+	targets := make([]uint32, span)
+	for k := 0; k < span; k++ {
+		off := tableAddr - img.DataBase + uint32(4*k)
+		e := binary.LittleEndian.Uint32(img.Data[off:])
+		if e < fn.Start || e >= fn.End || e%4 != 0 {
+			return nil, fmt.Errorf("entry %d (0x%x) outside function", k, e)
+		}
+		targets[k] = e
+	}
+	return targets, nil
+}

@@ -1,0 +1,471 @@
+package ir
+
+import "sort"
+
+// Dominators computes the immediate dominator of every block using the
+// Cooper/Harvey/Kennedy iterative algorithm. idom[entry] == entry.
+func Dominators(f *Func) []int {
+	n := len(f.Blocks)
+	order, postIdx := reversePostorder(f)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if n == 0 {
+		return idom
+	}
+	entry := f.Blocks[0].Index
+	idom[entry] = entry
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for postIdx[a] < postIdx[b] {
+				a = idom[a]
+			}
+			for postIdx[b] < postIdx[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b.Index == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range b.Preds {
+				if idom[p.Index] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p.Index
+				} else {
+					newIdom = intersect(newIdom, p.Index)
+				}
+			}
+			if newIdom != -1 && idom[b.Index] != newIdom {
+				idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// reversePostorder returns blocks in reverse postorder from the entry and
+// each block's postorder index.
+func reversePostorder(f *Func) ([]*Block, []int) {
+	n := len(f.Blocks)
+	seen := make([]bool, n)
+	postIdx := make([]int, n)
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		postIdx[b.Index] = len(post)
+		post = append(post, b)
+	}
+	if n > 0 {
+		dfs(f.Blocks[0])
+	}
+	rpo := make([]*Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	return rpo, postIdx
+}
+
+// Dominates reports whether a dominates b under the idom tree.
+func Dominates(idom []int, a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == idom[b] || idom[b] < 0 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// Loop is one natural loop.
+type Loop struct {
+	Header *Block
+	Latch  *Block // source of the back edge (one per back edge; merged)
+	Blocks map[int]*Block
+	// Exits are edges leaving the loop: (from inside, to outside).
+	Exits []LoopEdge
+	// Depth is the nesting depth (1 = outermost).
+	Depth int
+	// Parent is the enclosing loop, if any.
+	Parent *Loop
+	// IndVars are recovered induction variables.
+	IndVars []IndVar
+}
+
+// LoopEdge is a CFG edge.
+type LoopEdge struct{ From, To *Block }
+
+// Contains reports whether the loop body includes block index i.
+func (l *Loop) Contains(i int) bool { _, ok := l.Blocks[i]; return ok }
+
+// NumInstrs counts the instructions in the loop body.
+func (l *Loop) NumInstrs() int {
+	n := 0
+	for _, b := range l.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// FindLoops detects natural loops from back edges and computes nesting.
+// Blocks unreachable from the entry are ignored.
+func FindLoops(f *Func) []*Loop {
+	idom := Dominators(f)
+	byHeader := make(map[int]*Loop)
+	var loops []*Loop
+
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if idom[b.Index] >= 0 && Dominates(idom, s.Index, b.Index) {
+				// Back edge b -> s: natural loop with header s.
+				l, ok := byHeader[s.Index]
+				if !ok {
+					l = &Loop{Header: s, Latch: b, Blocks: map[int]*Block{s.Index: s}}
+					byHeader[s.Index] = l
+					loops = append(loops, l)
+				}
+				// Collect body: reverse reachability from latch to header.
+				stack := []*Block{b}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if l.Contains(x.Index) {
+						continue
+					}
+					l.Blocks[x.Index] = x
+					for _, p := range x.Preds {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	// Exits, nesting, depth.
+	for _, l := range loops {
+		for _, b := range l.Blocks {
+			for _, s := range b.Succs {
+				if !l.Contains(s.Index) {
+					l.Exits = append(l.Exits, LoopEdge{From: b, To: s})
+				}
+			}
+		}
+		sort.Slice(l.Exits, func(i, j int) bool { return l.Exits[i].From.Index < l.Exits[j].From.Index })
+	}
+	// Parent: the smallest strictly-containing loop.
+	for _, l := range loops {
+		for _, m := range loops {
+			if m == l || !m.Contains(l.Header.Index) || len(m.Blocks) <= len(l.Blocks) {
+				continue
+			}
+			if l.Parent == nil || len(m.Blocks) < len(l.Parent.Blocks) {
+				l.Parent = m
+			}
+		}
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header.Start < loops[j].Header.Start })
+	for _, l := range loops {
+		l.IndVars = findIndVars(l)
+	}
+	return loops
+}
+
+// IndVar is a recovered basic induction variable: a location updated once
+// per iteration by a constant step, with an optional recovered bound.
+type IndVar struct {
+	Loc  Loc
+	Step int32
+	// Init is the initial value when recoverable (a constant moved into
+	// Loc in a dominating predecessor of the header).
+	Init    Arg
+	HasInit bool
+	// Limit and LimitCond describe the loop-controlling comparison when
+	// the exit branch tests this variable against a constant or
+	// loop-invariant location.
+	Limit     Arg
+	LimitCond Cond
+	HasLimit  bool
+}
+
+// TripCount returns the iteration count when Init, Step, and Limit are all
+// constants and the condition is a simple counted-loop test.
+func (iv *IndVar) TripCount() (int64, bool) {
+	if !iv.HasInit || !iv.HasLimit || !iv.Init.IsConst || !iv.Limit.IsConst || iv.Step == 0 {
+		return 0, false
+	}
+	init, limit, step := int64(iv.Init.Val), int64(iv.Limit.Val), int64(iv.Step)
+	switch iv.LimitCond {
+	case CondLT, CondLTU:
+		if step > 0 && limit > init {
+			return (limit - init + step - 1) / step, true
+		}
+	case CondLE:
+		if step > 0 && limit >= init {
+			return (limit - init + step) / step, true
+		}
+	case CondGT:
+		if step < 0 && limit < init {
+			return (init - limit - step - 1) / -step, true
+		}
+	case CondGE:
+		if step < 0 && limit <= init {
+			return (init - limit - step) / -step, true
+		}
+	case CondNE:
+		if step != 0 && (limit-init)%step == 0 && (limit-init)/step > 0 {
+			return (limit - init) / step, true
+		}
+	}
+	return 0, false
+}
+
+// findIndVars recovers basic induction variables of the loop: locations
+// whose only in-loop updates are a single "loc = loc + c".
+func findIndVars(l *Loop) []IndVar {
+	updates := make(map[Loc][]*Instr)
+	writes := make(map[Loc]int)
+	for _, b := range l.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if !in.HasDst() {
+				continue
+			}
+			writes[in.Dst]++
+			if in.Op == Add &&
+				((!in.A.IsConst && in.A.Loc == in.Dst && in.B.IsConst) ||
+					(!in.B.IsConst && in.B.Loc == in.Dst && in.A.IsConst)) {
+				updates[in.Dst] = append(updates[in.Dst], in)
+			}
+			if in.Op == Sub && !in.A.IsConst && in.A.Loc == in.Dst && in.B.IsConst {
+				updates[in.Dst] = append(updates[in.Dst], in)
+			}
+		}
+	}
+	var out []IndVar
+	for loc, ups := range updates {
+		if writes[loc] != 1 || len(ups) != 1 {
+			continue
+		}
+		in := ups[0]
+		var step int32
+		switch {
+		case in.Op == Add && in.B.IsConst:
+			step = in.B.Val
+		case in.Op == Add && in.A.IsConst:
+			step = in.A.Val
+		case in.Op == Sub:
+			step = -in.B.Val
+		}
+		iv := IndVar{Loc: loc, Step: step}
+		findIVBounds(l, &iv)
+		out = append(out, iv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Loc < out[j].Loc })
+	return out
+}
+
+// findIVBounds fills Init and Limit for an induction variable by scanning
+// the header's out-of-loop predecessors and the loop's exit branches.
+func findIVBounds(l *Loop, iv *IndVar) {
+	// Init: last write in a predecessor of the header outside the loop.
+	for _, p := range l.Header.Preds {
+		if l.Contains(p.Index) {
+			continue
+		}
+		for i := len(p.Instrs) - 1; i >= 0; i-- {
+			in := &p.Instrs[i]
+			if in.HasDst() && in.Dst == iv.Loc {
+				if in.Op == Move {
+					iv.Init = in.A
+					iv.HasInit = true
+				}
+				break
+			}
+		}
+	}
+	// Limit: an exit branch comparing the variable, either directly or
+	// through the RISC set-less-than idiom ("r1 = setlt i, n; br r1 != 0").
+	for _, e := range l.Exits {
+		t := e.From.Terminator()
+		if t == nil || t.Op != Branch {
+			continue
+		}
+		cmpA, cmpB, cmpCond, ok := branchComparison(e.From, t)
+		if !ok {
+			continue
+		}
+		var other Arg
+		var cond Cond
+		switch {
+		case !cmpA.IsConst && cmpA.Loc == iv.Loc:
+			other, cond = cmpB, cmpCond
+		case !cmpB.IsConst && cmpB.Loc == iv.Loc:
+			other, cond = cmpA, swapCond(cmpCond)
+			if cond == CondNone {
+				continue
+			}
+		default:
+			continue
+		}
+		// The branch condition as written targets the exit or the stay
+		// edge; normalize to the "stay in loop" condition.
+		stays := l.Contains(blockOfTarget(e.From, t).Index)
+		if !stays {
+			cond = cond.Negate()
+		}
+		iv.Limit = other
+		iv.LimitCond = cond
+		iv.HasLimit = true
+		break
+	}
+}
+
+// branchComparison resolves the comparison a block's terminating branch
+// performs, looking through the RISC "setlt + branch-nonzero" idiom.
+// Returns the compared operands and the condition under which the branch
+// is taken.
+func branchComparison(b *Block, t *Instr) (Arg, Arg, Cond, bool) {
+	if t.Op != Branch {
+		return Arg{}, Arg{}, CondNone, false
+	}
+	// Direct comparison.
+	if t.Cond != CondEQ && t.Cond != CondNE {
+		return t.A, t.B, t.Cond, true
+	}
+	// br x ==/!= 0 where x = setlt a, b in the same block.
+	zeroCmp := t.B.IsConst && t.B.Val == 0 && !t.A.IsConst
+	if !zeroCmp {
+		return t.A, t.B, t.Cond, true
+	}
+	for i := len(b.Instrs) - 2; i >= 0; i-- {
+		in := &b.Instrs[i]
+		if !in.HasDst() || in.Dst != t.A.Loc {
+			continue
+		}
+		var base Cond
+		switch in.Op {
+		case SetLT:
+			base = CondLT
+		case SetLTU:
+			base = CondLTU
+		default:
+			return t.A, t.B, t.Cond, true
+		}
+		if t.Cond == CondEQ { // branch taken when NOT (a < b)
+			base = base.Negate()
+		}
+		return in.A, in.B, base, true
+	}
+	return t.A, t.B, t.Cond, true
+}
+
+// blockOfTarget returns the successor the branch jumps to when taken.
+func blockOfTarget(b *Block, t *Instr) *Block {
+	for _, s := range b.Succs {
+		if s.Start == t.Target {
+			return s
+		}
+	}
+	// Degenerate: fall back to first successor.
+	if len(b.Succs) > 0 {
+		return b.Succs[0]
+	}
+	return b
+}
+
+// swapCond returns the condition with operands exchanged, or CondNone when
+// the swapped form is not representable (the IR has no GTU/LEU).
+func swapCond(c Cond) Cond {
+	switch c {
+	case CondEQ, CondNE:
+		return c
+	case CondLT:
+		return CondGT
+	case CondGT:
+		return CondLT
+	case CondLE:
+		return CondGE
+	case CondGE:
+		return CondLE
+	}
+	return CondNone
+}
+
+// Liveness computes per-block live-in/live-out location sets.
+func Liveness(f *Func) (liveIn, liveOut []map[Loc]bool) {
+	n := len(f.Blocks)
+	liveIn = make([]map[Loc]bool, n)
+	liveOut = make([]map[Loc]bool, n)
+	gen := make([]map[Loc]bool, n)
+	kill := make([]map[Loc]bool, n)
+	for i, b := range f.Blocks {
+		liveIn[i] = map[Loc]bool{}
+		liveOut[i] = map[Loc]bool{}
+		gen[i] = map[Loc]bool{}
+		kill[i] = map[Loc]bool{}
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			for _, u := range in.Uses() {
+				if !kill[i][u] {
+					gen[i][u] = true
+				}
+			}
+			if in.HasDst() {
+				kill[i][in.Dst] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			for _, s := range b.Succs {
+				for l := range liveIn[s.Index] {
+					if !liveOut[i][l] {
+						liveOut[i][l] = true
+						changed = true
+					}
+				}
+			}
+			for l := range liveOut[i] {
+				if !kill[i][l] && !liveIn[i][l] {
+					liveIn[i][l] = true
+					changed = true
+				}
+			}
+			for l := range gen[i] {
+				if !liveIn[i][l] {
+					liveIn[i][l] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn, liveOut
+}

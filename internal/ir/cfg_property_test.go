@@ -1,0 +1,208 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCFG builds a random function-shaped CFG: entry block 0, random
+// forward and backward edges, every block reachable (unreachable ones are
+// fine for the algorithms but make the brute-force oracle trivial).
+func randomCFG(r *rand.Rand, n int) *Func {
+	blocks := make([]*Block, n)
+	for i := range blocks {
+		blocks[i] = &Block{Index: i, Start: uint32(0x1000 + 16*i)}
+	}
+	f := &Func{Blocks: blocks}
+	addEdge := func(a, b int) {
+		for _, s := range blocks[a].Succs {
+			if s.Index == b {
+				return
+			}
+		}
+		blocks[a].Succs = append(blocks[a].Succs, blocks[b])
+		blocks[b].Preds = append(blocks[b].Preds, blocks[a])
+	}
+	// Spanning path guarantees reachability.
+	for i := 1; i < n; i++ {
+		addEdge(r.Intn(i), i)
+	}
+	// Extra random edges (including back edges).
+	for k := 0; k < n; k++ {
+		addEdge(r.Intn(n), r.Intn(n))
+	}
+	return f
+}
+
+// reachableWithout computes which blocks are reachable from entry when
+// block `cut` is removed (-1 = no cut).
+func reachableWithout(f *Func, cut int) []bool {
+	seen := make([]bool, len(f.Blocks))
+	if cut == 0 {
+		return seen
+	}
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if seen[b.Index] || b.Index == cut {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+	}
+	dfs(f.Blocks[0])
+	return seen
+}
+
+// TestDominatorsAgainstBruteForce checks the iterative dominator algorithm
+// against the definition: a dominates b iff removing a from the graph
+// makes b unreachable from the entry.
+func TestDominatorsAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + r.Intn(10)
+		f := randomCFG(r, n)
+		idom := Dominators(f)
+
+		// Brute-force dominator sets.
+		dom := make([][]bool, n)
+		base := reachableWithout(f, -1)
+		for a := 0; a < n; a++ {
+			without := reachableWithout(f, a)
+			dom[a] = make([]bool, n)
+			for b := 0; b < n; b++ {
+				// a dominates b: b reachable normally but not without a
+				// (or a == b).
+				dom[a][b] = a == b || (base[b] && !without[b])
+			}
+		}
+
+		for b := 1; b < n; b++ {
+			if !base[b] {
+				continue
+			}
+			// The computed idom must dominate b.
+			ib := idom[b]
+			if ib < 0 || !dom[ib][b] {
+				t.Fatalf("trial %d: idom[%d] = %d does not dominate", trial, b, ib)
+			}
+			// Immediacy: every strict dominator of b (other than b) must
+			// dominate idom[b].
+			for a := 0; a < n; a++ {
+				if a == b || !dom[a][b] {
+					continue
+				}
+				if a != ib && !dom[a][ib] {
+					t.Fatalf("trial %d: %d dominates %d but not idom %d", trial, a, b, ib)
+				}
+			}
+			// Dominates() must agree with the brute force for all pairs.
+			for a := 0; a < n; a++ {
+				if base[b] && base[a] {
+					got := Dominates(idom, a, b)
+					if got != dom[a][b] {
+						t.Fatalf("trial %d: Dominates(%d,%d) = %v, brute force %v",
+							trial, a, b, got, dom[a][b])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFindLoopsProperties checks natural-loop invariants on random CFGs:
+// the header dominates every block in its loop, and the latch is in the
+// loop body.
+func TestFindLoopsProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 150; trial++ {
+		f := randomCFG(r, 2+r.Intn(10))
+		idom := Dominators(f)
+		for _, l := range FindLoops(f) {
+			if !l.Contains(l.Header.Index) {
+				t.Fatalf("trial %d: header not in its own loop", trial)
+			}
+			if !l.Contains(l.Latch.Index) {
+				t.Fatalf("trial %d: latch not in loop", trial)
+			}
+			for idx := range l.Blocks {
+				if !Dominates(idom, l.Header.Index, idx) {
+					t.Fatalf("trial %d: header %d does not dominate member %d",
+						trial, l.Header.Index, idx)
+				}
+			}
+			for _, e := range l.Exits {
+				if !l.Contains(e.From.Index) || l.Contains(e.To.Index) {
+					t.Fatalf("trial %d: bad exit edge %d->%d", trial, e.From.Index, e.To.Index)
+				}
+			}
+			if l.Parent != nil && !l.Parent.Contains(l.Header.Index) {
+				t.Fatalf("trial %d: parent does not contain child header", trial)
+			}
+		}
+	}
+}
+
+// TestLivenessAgainstDefinition checks block liveness on random CFGs with
+// random instructions: a location is live-in iff some path from the block
+// start reaches a use before any redefinition.
+func TestLivenessAgainstDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 100; trial++ {
+		f := randomCFG(r, 2+r.Intn(6))
+		locs := []Loc{40, 41, 42}
+		for _, b := range f.Blocks {
+			for k := 0; k < r.Intn(4); k++ {
+				l := locs[r.Intn(len(locs))]
+				if r.Intn(2) == 0 {
+					b.Instrs = append(b.Instrs, Instr{Op: Move, Dst: l, A: C(1)})
+				} else {
+					b.Instrs = append(b.Instrs, Instr{Op: Add, Dst: 43, A: L(l), B: C(1)})
+				}
+			}
+		}
+		liveIn, _ := Liveness(f)
+
+		// Brute force: BFS over (block, position) states.
+		bruteLiveIn := func(start int, loc Loc) bool {
+			type state struct{ blk int }
+			seen := map[int]bool{}
+			var walk func(blk int) bool
+			walk = func(blk int) bool {
+				if seen[blk] {
+					return false
+				}
+				seen[blk] = true
+				for i := range f.Blocks[blk].Instrs {
+					in := &f.Blocks[blk].Instrs[i]
+					for _, u := range in.Uses() {
+						if u == loc {
+							return true
+						}
+					}
+					if in.HasDst() && in.Dst == loc {
+						return false
+					}
+				}
+				for _, s := range f.Blocks[blk].Succs {
+					if walk(s.Index) {
+						return true
+					}
+				}
+				return false
+			}
+			_ = state{}
+			return walk(start)
+		}
+		for _, b := range f.Blocks {
+			for _, loc := range locs {
+				want := bruteLiveIn(b.Index, loc)
+				if liveIn[b.Index][loc] != want {
+					t.Fatalf("trial %d: liveIn[b%d][%v] = %v, brute force %v",
+						trial, b.Index, loc, liveIn[b.Index][loc], want)
+				}
+			}
+		}
+	}
+}

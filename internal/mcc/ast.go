@@ -1,0 +1,270 @@
+package mcc
+
+import "fmt"
+
+// Type describes a MicroC type. MicroC has six scalar types, one level of
+// pointers, and one-dimensional arrays. All arithmetic happens in 32 bits;
+// narrow types matter only at loads, stores, and conversions, exactly as on
+// a real MIPS.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // element type for pointers and arrays
+	Len  int   // array length
+}
+
+type TypeKind int
+
+const (
+	TypeVoid TypeKind = iota
+	TypeChar
+	TypeUChar
+	TypeShort
+	TypeUShort
+	TypeInt
+	TypeUInt
+	TypePtr
+	TypeArray
+)
+
+var (
+	tyVoid   = &Type{Kind: TypeVoid}
+	tyChar   = &Type{Kind: TypeChar}
+	tyUChar  = &Type{Kind: TypeUChar}
+	tyShort  = &Type{Kind: TypeShort}
+	tyUShort = &Type{Kind: TypeUShort}
+	tyInt    = &Type{Kind: TypeInt}
+	tyUInt   = &Type{Kind: TypeUInt}
+)
+
+// Size returns the storage size of the type in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeChar, TypeUChar:
+		return 1
+	case TypeShort, TypeUShort:
+		return 2
+	case TypeInt, TypeUInt, TypePtr:
+		return 4
+	case TypeArray:
+		return t.Len * t.Elem.Size()
+	}
+	return 0
+}
+
+// Signed reports whether values of the type sign-extend on narrow loads and
+// use signed comparison, division, and right shift.
+func (t *Type) Signed() bool {
+	switch t.Kind {
+	case TypeChar, TypeShort, TypeInt:
+		return true
+	}
+	return false
+}
+
+// IsScalar reports whether the type is one of the integer scalars.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case TypeChar, TypeUChar, TypeShort, TypeUShort, TypeInt, TypeUInt:
+		return true
+	}
+	return false
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeChar:
+		return "char"
+	case TypeUChar:
+		return "uchar"
+	case TypeShort:
+		return "short"
+	case TypeUShort:
+		return "ushort"
+	case TypeInt:
+		return "int"
+	case TypeUInt:
+		return "uint"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	}
+	return "?"
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl is a global or local variable declaration.
+type VarDecl struct {
+	Name string
+	Type *Type
+	Init Expr   // scalar initializer, may be nil
+	Vals []Expr // array initializer list, may be nil
+	Line int
+	sym  *symbol // attached by sema
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*VarDecl
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+type (
+	// BlockStmt is a brace-delimited statement list.
+	BlockStmt struct{ Stmts []Stmt }
+	// DeclStmt declares one or more local variables (int a = 1, b = 2;).
+	DeclStmt struct{ Decls []*VarDecl }
+	// ExprStmt evaluates an expression for its side effects.
+	ExprStmt struct{ X Expr }
+	// IfStmt is if/else.
+	IfStmt struct {
+		Cond Expr
+		Then Stmt
+		Else Stmt // may be nil
+	}
+	// WhileStmt is a pre-test loop; DoWhile a post-test loop.
+	WhileStmt struct {
+		Cond Expr
+		Body Stmt
+	}
+	DoWhileStmt struct {
+		Body Stmt
+		Cond Expr
+	}
+	// ForStmt is for(init; cond; post) body. Any part may be nil.
+	ForStmt struct {
+		Init Stmt
+		Cond Expr
+		Post Expr
+		Body Stmt
+	}
+	// SwitchStmt dispatches on an int expression. Dense case sets compile
+	// to a jump table, producing the indirect jumps that defeat CDFG
+	// recovery in the reproduced paper.
+	SwitchStmt struct {
+		Tag     Expr
+		Cases   []*SwitchCase
+		Default []Stmt // may be nil
+	}
+	BreakStmt    struct{}
+	ContinueStmt struct{}
+	ReturnStmt   struct{ X Expr } // X may be nil
+)
+
+// SwitchCase is one case label and its statements.
+type SwitchCase struct {
+	Val  int32
+	Body []Stmt
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+
+// Expr is implemented by all expression nodes. Every expression carries the
+// type assigned during semantic analysis.
+type Expr interface {
+	exprNode()
+	ExprType() *Type
+}
+
+type exprBase struct{ T *Type }
+
+func (e *exprBase) exprNode()       {}
+func (e *exprBase) ExprType() *Type { return e.T }
+
+type (
+	// NumLit is an integer literal.
+	NumLit struct {
+		exprBase
+		Val int32
+	}
+	// Ident references a variable or parameter.
+	Ident struct {
+		exprBase
+		Name string
+		Sym  *symbol // filled by sema
+	}
+	// BinExpr is a binary operation, including comparisons and the
+	// short-circuit && and ||.
+	BinExpr struct {
+		exprBase
+		Op   string
+		L, R Expr
+	}
+	// UnExpr is -x, ~x, !x, *p, &lv.
+	UnExpr struct {
+		exprBase
+		Op string
+		X  Expr
+	}
+	// AssignExpr is lv = rv or a compound assignment lv op= rv.
+	AssignExpr struct {
+		exprBase
+		Op string // "=", "+=", ...
+		LV Expr
+		RV Expr
+	}
+	// IncDecExpr is ++lv, lv++, --lv or lv--.
+	IncDecExpr struct {
+		exprBase
+		Op   string // "++" or "--"
+		Post bool
+		LV   Expr
+	}
+	// IndexExpr is a[i]; a may be an array or pointer.
+	IndexExpr struct {
+		exprBase
+		Arr Expr
+		Idx Expr
+	}
+	// CallExpr is f(args...).
+	CallExpr struct {
+		exprBase
+		Name string
+		Args []Expr
+		Fn   *FuncDecl // filled by sema
+	}
+	// CastExpr is (type)x.
+	CastExpr struct {
+		exprBase
+		X Expr
+	}
+	// CondExpr is c ? a : b.
+	CondExpr struct {
+		exprBase
+		Cond, Then, Else Expr
+	}
+)
+
+// symbol is the semantic binding of a name.
+type symbol struct {
+	name    string
+	typ     *Type
+	global  bool
+	addr    uint32 // assigned global data address
+	addrOf  bool   // address taken (forces a stack slot for locals)
+	decl    *VarDecl
+	paramIx int // parameter index, or -1
+}

@@ -1,0 +1,491 @@
+package mcc
+
+import (
+	"testing"
+
+	"binpart/internal/sim"
+)
+
+// runAll compiles src at every optimization level, runs each binary, and
+// checks they all return want. It returns the per-level results so callers
+// can make additional assertions (e.g. O1 executes fewer cycles than O0).
+func runAll(t *testing.T, src string, want int32) [4]sim.Result {
+	t.Helper()
+	var out [4]sim.Result
+	for lvl := 0; lvl <= 3; lvl++ {
+		img, err := Compile(src, Options{OptLevel: lvl})
+		if err != nil {
+			t.Fatalf("O%d: compile: %v", lvl, err)
+		}
+		res, err := sim.Execute(img, sim.DefaultConfig())
+		if err != nil {
+			t.Fatalf("O%d: run: %v", lvl, err)
+		}
+		if res.ExitCode != want {
+			t.Errorf("O%d: result = %d, want %d", lvl, res.ExitCode, want)
+		}
+		out[lvl] = res
+	}
+	return out
+}
+
+func TestReturnConstant(t *testing.T) {
+	runAll(t, `int main() { return 42; }`, 42)
+}
+
+func TestArithmetic(t *testing.T) {
+	runAll(t, `
+		int main() {
+			int a = 15;
+			int b = 4;
+			return a + b*3 - (a/b) - (a%b) + (a<<2) - (a>>1) + (a&b) + (a|b) + (a^b);
+		}
+	`, 15+12-3-3+60-7+4+15+11)
+}
+
+func TestUnsignedSemantics(t *testing.T) {
+	runAll(t, `
+		int main() {
+			uint a = 0;
+			a = a - 1;          /* 0xffffffff */
+			uint b = a / 2;     /* 0x7fffffff */
+			int c = (int)(a >> 24); /* logical shift: 255 */
+			if (a < 1) { return 1; }  /* unsigned compare: false */
+			return c + (int)(b >> 24); /* 255 + 127 */
+		}
+	`, 382)
+}
+
+func TestSignedSemantics(t *testing.T) {
+	runAll(t, `
+		int main() {
+			int a = -17;
+			int q = a / 5;      /* -3 */
+			int r = a % 5;      /* -2 */
+			int s = a >> 2;     /* arithmetic: -5 */
+			if (a < 0) { return q*100 + r*10 + s; }
+			return 0;
+		}
+	`, -3*100+-2*10+-5)
+}
+
+func TestNarrowTypes(t *testing.T) {
+	runAll(t, `
+		char gc;
+		uchar guc;
+		short gs;
+		ushort gus;
+		int main() {
+			gc = 200;       /* wraps to -56 */
+			guc = 200;
+			gs = 70000;     /* wraps to 4464 */
+			gus = 70000;
+			char c = 130;   /* -126 */
+			uchar uc = 130;
+			return (int)gc + (int)guc + (int)gs + (int)gus + c + (int)uc;
+		}
+	`, -56+200+4464+4464-126+130)
+}
+
+func TestControlFlow(t *testing.T) {
+	runAll(t, `
+		int main() {
+			int n = 0;
+			int i;
+			for (i = 0; i < 10; i++) {
+				if (i % 2 == 0) { n += i; } else { n -= 1; }
+			}
+			while (n > 17) { n--; }
+			do { n += 2; } while (n < 21);
+			return n;
+		}
+	`, 21)
+}
+
+func TestBreakContinue(t *testing.T) {
+	runAll(t, `
+		int main() {
+			int n = 0;
+			int i;
+			for (i = 0; i < 100; i++) {
+				if (i == 5) { continue; }
+				if (i == 9) { break; }
+				n += i;
+			}
+			return n;  /* 0+1+2+3+4+6+7+8 = 31 */
+		}
+	`, 31)
+}
+
+func TestShortCircuit(t *testing.T) {
+	runAll(t, `
+		int g;
+		int bump() { g++; return 0; }
+		int main() {
+			g = 0;
+			int a = (1 || bump());  /* bump not called */
+			int b = (0 && bump());  /* bump not called */
+			int c = (0 || bump());  /* called */
+			int d = (1 && bump());  /* called */
+			return g*100 + a*10 + b + c + d;
+		}
+	`, 210)
+}
+
+func TestGlobalArrays(t *testing.T) {
+	runAll(t, `
+		int tab[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+		short stab[4] = {-1, -2, -3, -4};
+		uchar btab[4] = {250, 251, 252, 253};
+		int main() {
+			int s = 0;
+			int i;
+			for (i = 0; i < 8; i++) { s += tab[i]; }
+			for (i = 0; i < 4; i++) { s += stab[i]; }
+			for (i = 0; i < 4; i++) { s += (int)btab[i]; }
+			return s;  /* 36 - 10 + 1006 */
+		}
+	`, 36-10+1006)
+}
+
+func TestLocalArrays(t *testing.T) {
+	runAll(t, `
+		int main() {
+			int a[5];
+			int i;
+			for (i = 0; i < 5; i++) { a[i] = i*i; }
+			int s = 0;
+			for (i = 0; i < 5; i++) { s += a[i]; }
+			return s;  /* 0+1+4+9+16 */
+		}
+	`, 30)
+}
+
+func TestPointers(t *testing.T) {
+	runAll(t, `
+		int buf[4] = {10, 20, 30, 40};
+		int sumthrough(int *p, int n) {
+			int s = 0;
+			int i;
+			for (i = 0; i < n; i++) { s += p[i]; }
+			return s;
+		}
+		int main() {
+			int x = 5;
+			int *px = &x;
+			*px = *px + 2;
+			int *p = buf;
+			p = p + 1;
+			return sumthrough(buf, 4) + *p + x;  /* 100 + 20 + 7 */
+		}
+	`, 127)
+}
+
+func TestFunctionCalls(t *testing.T) {
+	runAll(t, `
+		int fib(int n) {
+			if (n < 2) { return n; }
+			return fib(n-1) + fib(n-2);
+		}
+		int max4(int a, int b, int c, int d) {
+			int m = a;
+			if (b > m) { m = b; }
+			if (c > m) { m = c; }
+			if (d > m) { m = d; }
+			return m;
+		}
+		int main() {
+			return fib(10) + max4(3, 99, -5, 12);  /* 55 + 99 */
+		}
+	`, 154)
+}
+
+func TestVoidFunction(t *testing.T) {
+	runAll(t, `
+		int acc;
+		void add(int v) { acc += v; }
+		int main() {
+			acc = 0;
+			add(3); add(4); add(5);
+			return acc;
+		}
+	`, 12)
+}
+
+func TestSwitchCompareChain(t *testing.T) {
+	// 3 sparse cases: compiles to a compare chain, no jump table.
+	runAll(t, `
+		int classify(int v) {
+			switch (v) {
+			case 1: return 10;
+			case 100: return 20;
+			case -7: return 30;
+			default: return 0;
+			}
+		}
+		int main() {
+			return classify(1) + classify(100) + classify(-7) + classify(8);
+		}
+	`, 60)
+}
+
+func TestSwitchJumpTable(t *testing.T) {
+	// 6 dense cases: compiles to a jump table (indirect jump).
+	runAll(t, `
+		int dispatch(int v) {
+			int r = 0;
+			switch (v) {
+			case 0: r = 1; break;
+			case 1: r = 2; break;
+			case 2: r = 4; break;
+			case 3: r = 8; break;
+			case 4: r = 16; break;
+			case 5: r = 32; break;
+			default: r = 100; break;
+			}
+			return r;
+		}
+		int main() {
+			int s = 0;
+			int i;
+			for (i = -1; i < 7; i++) { s += dispatch(i); }
+			return s;  /* 100 + 63 + 100 */
+		}
+	`, 263)
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	runAll(t, `
+		int main() {
+			int v = 2;
+			int r = 0;
+			switch (v) {
+			case 1: r += 1;
+			case 2: r += 2;
+			case 3: r += 4;  /* falls through from 2 */
+			case 4: r += 8;
+			default: r += 16;
+			}
+			return r;  /* 2+4+8+16 */
+		}
+	`, 30)
+}
+
+func TestTernaryAndIncDec(t *testing.T) {
+	runAll(t, `
+		int main() {
+			int a = 5;
+			int b = a++;        /* b=5 a=6 */
+			int c = ++a;        /* c=7 a=7 */
+			int d = a-- + --a;  /* 7 + 5; a=5 */
+			int e = a > 3 ? 100 : 200;
+			return b + c + d + e;  /* 5+7+12+100 */
+		}
+	`, 124)
+}
+
+func TestCompoundAssign(t *testing.T) {
+	runAll(t, `
+		int main() {
+			int a = 100;
+			a += 5; a -= 3; a *= 2; a /= 4; a %= 13;  /* 204/4=51 %13=12 */
+			a <<= 3; a >>= 1; a |= 0x40; a &= 0x7f; a ^= 0x0f;  /* 48|64=112 &0x7f=112 ^15=127 */
+			return a;
+		}
+	`, 127)
+}
+
+func TestStrengthReducedMultiply(t *testing.T) {
+	// x*10 = (x<<3)+(x<<1): O2+ strength-reduces this.
+	results := runAll(t, `
+		int main() {
+			int s = 0;
+			int i;
+			for (i = 1; i <= 8; i++) { s += i * 10; }
+			return s;
+		}
+	`, 360)
+	// O2 should avoid multiply instructions, making it no slower than O1.
+	if results[2].Cycles > results[1].Cycles {
+		t.Errorf("O2 (%d cycles) slower than O1 (%d): strength reduction regressed",
+			results[2].Cycles, results[1].Cycles)
+	}
+}
+
+func TestDivModByPowerOfTwo(t *testing.T) {
+	runAll(t, `
+		int main() {
+			uint a = 1000;
+			return (int)(a / 8) + (int)(a % 8);  /* 125 + 0 */
+		}
+	`, 125)
+}
+
+func TestOptLevelsSpeedOrdering(t *testing.T) {
+	// A loop-heavy kernel must get faster (in cycles) from O0 to O1.
+	results := runAll(t, `
+		int data[64];
+		int main() {
+			int i;
+			int acc = 0;
+			for (i = 0; i < 64; i++) { data[i] = i ^ (i << 1); }
+			for (i = 0; i < 64; i++) { acc += data[i] * 3; }
+			return acc & 0xffff;
+		}
+	`, func() int32 {
+		var acc int32
+		for i := int32(0); i < 64; i++ {
+			acc += (i ^ (i << 1)) * 3
+		}
+		return acc & 0xffff
+	}())
+	if results[1].Cycles >= results[0].Cycles {
+		t.Errorf("O1 (%d cycles) not faster than O0 (%d)", results[1].Cycles, results[0].Cycles)
+	}
+}
+
+func TestLoopUnrollingPreservesResult(t *testing.T) {
+	// Trip count 16 divisible by 4: O3 unrolls. Result must not change,
+	// and the O3 binary must be larger (the unrolling artifact the
+	// decompiler later detects).
+	src := `
+		int a[16];
+		int main() {
+			int i;
+			for (i = 0; i < 16; i++) { a[i] = i*i + 1; }
+			int s = 0;
+			for (i = 0; i < 16; i++) { s += a[i]; }
+			return s;
+		}
+	`
+	var want int32
+	for i := int32(0); i < 16; i++ {
+		want += i*i + 1
+	}
+	runAll(t, src, want)
+
+	img2, err := Compile(src, Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img3, err := Compile(src, Options{OptLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img3.Text) <= len(img2.Text) {
+		t.Errorf("O3 text (%d words) not larger than O2 (%d): unrolling did not fire",
+			len(img3.Text), len(img2.Text))
+	}
+}
+
+func TestDeepExpressionSpills(t *testing.T) {
+	// Force register pressure beyond the allocatable pools.
+	runAll(t, `
+		int main() {
+			int a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8;
+			int i = 9, j = 10, k = 11, l = 12, m = 13, n = 14, o = 15, p = 16;
+			int q = 17, r = 18, s = 19, u = 20, v = 21, w = 22;
+			int x = a+b+c+d+e+f+g+h+i+j+k+l+m+n+o+p+q+r+s+u+v+w;
+			return x + (a*b) + (v*w);  /* 253 + 2 + 462 */
+		}
+	`, 717)
+}
+
+func TestComments(t *testing.T) {
+	runAll(t, `
+		/* block comment
+		   over lines */
+		int main() {
+			// line comment
+			return 7; /* trailing */
+		}
+	`, 7)
+}
+
+func TestCharLiterals(t *testing.T) {
+	runAll(t, `
+		int main() {
+			char nl = '\n';
+			char z = '\0';
+			char a = 'A';
+			return a + nl + z;  /* 65 + 10 */
+		}
+	`, 75)
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"no main":              `int f() { return 1; }`,
+		"undefined var":        `int main() { return x; }`,
+		"undefined func":       `int main() { return f(); }`,
+		"redeclared":           `int main() { int a = 1; int a = 2; return a; }`,
+		"bad arg count":        `int f(int a) { return a; } int main() { return f(1, 2); }`,
+		"too many params":      `int f(int a, int b, int c, int d, int e) { return a; } int main() { return f(1,2,3,4,5); }`,
+		"void value":           `void f() { } int main() { return f() + 1; }`,
+		"assign to array":      `int a[3]; int b[3]; int main() { a = b; return 0; }`,
+		"break outside":        `int main() { break; return 0; }`,
+		"continue outside":     `int main() { continue; return 0; }`,
+		"return value in void": `void f() { return 3; } int main() { f(); return 0; }`,
+		"non-const global":     `int g; int h = g + 1; int main() { return h; }`,
+		"duplicate case":       `int main() { switch (1) { case 1: return 1; case 1: return 2; } return 0; }`,
+		"syntax error":         `int main() { return 1 + ; }`,
+		"bad token":            "int main() { return 1 @ 2; }",
+		"unterminated":         `int main() { return 1;`,
+		"deref int":            `int main() { int a = 1; return *a; }`,
+		"index scalar":         `int main() { int a = 1; return a[0]; }`,
+		"address of rvalue":    `int main() { int *p = &(1+2); return *p; }`,
+	}
+	for name, src := range cases {
+		if _, err := Compile(src, Options{OptLevel: 1}); err == nil {
+			t.Errorf("%s: compile succeeded, want error", name)
+		}
+	}
+}
+
+func TestSymbolsEmitted(t *testing.T) {
+	img, err := Compile(`
+		int g = 5;
+		int tab[4] = {1,2,3,4};
+		int helper(int x) { return x + g; }
+		int main() { return helper(tab[0]); }
+	`, Options{OptLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"_start", "main", "helper", "g", "tab"} {
+		if _, ok := img.Lookup(name); !ok {
+			t.Errorf("symbol %q missing", name)
+		}
+	}
+	s, _ := img.Lookup("main")
+	if !img.InText(s.Addr) {
+		t.Errorf("main at 0x%x not in text", s.Addr)
+	}
+	g, _ := img.Lookup("g")
+	if img.InText(g.Addr) {
+		t.Errorf("global g at 0x%x is in text", g.Addr)
+	}
+}
+
+func TestGlobalScalarInit(t *testing.T) {
+	runAll(t, `
+		int a = 5;
+		int b = -(3 + 4);
+		uint c = 1 << 20;
+		short s = -12;
+		uchar u = 200;
+		int main() { return a + b + (int)(c >> 18) + s + (int)u; }
+	`, 5-7+4-12+200)
+}
+
+func TestMixedSignedUnsignedCompare(t *testing.T) {
+	runAll(t, `
+		int main() {
+			int si = -1;
+			uint ui = 1;
+			/* mixed comparison is unsigned, like C: (uint)-1 > 1 */
+			if (si > (int)0 || (uint)si > ui) { return 1; }
+			return 0;
+		}
+	`, 1)
+}

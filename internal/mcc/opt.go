@@ -1,0 +1,534 @@
+package mcc
+
+// TAC optimization passes. The pass set per level mirrors a classic C
+// compiler, which matters here: the decompiler must cope with (and undo)
+// exactly these artifacts.
+//
+//	O1: constant folding/propagation, copy propagation, algebraic
+//	    simplification, branch folding, dead code elimination
+//	O2: O1 + local common subexpression elimination + strength reduction
+//	O3: O2 (+ loop unrolling, applied earlier at the AST level)
+
+// optimize runs the pass pipeline for the given level on f in place.
+func optimize(f *tacFunc, level int) {
+	if level < 1 {
+		return
+	}
+	for round := 0; round < 4; round++ {
+		propagate(f)
+		if level >= 2 {
+			localCSE(f)
+		}
+		simplifyBranches(f)
+		removeUnreachable(f)
+		deadCode(f)
+	}
+	if level >= 2 {
+		strengthReduce(f)
+		// Reduction introduces new temps and moves; clean up once more.
+		propagate(f)
+		deadCode(f)
+	}
+	pruneDeadTables(f)
+}
+
+// pruneDeadTables drops jump tables whose dispatch was eliminated (e.g. a
+// constant switch tag folded the whole indirect jump away); otherwise the
+// linker would try to patch labels of deleted case blocks.
+func pruneDeadTables(f *tacFunc) {
+	if len(f.Tables) == 0 {
+		return
+	}
+	live := map[string]bool{}
+	for i := range f.Ins {
+		if f.Ins[i].Kind == iAddrG {
+			live[f.Ins[i].Sym] = true
+		}
+	}
+	out := f.Tables[:0]
+	for _, t := range f.Tables {
+		if live[t.Sym] {
+			out = append(out, t)
+		}
+	}
+	f.Tables = out
+}
+
+// blockRanges splits f.Ins into basic-block index ranges [start,end).
+func blockRanges(f *tacFunc) [][2]int {
+	var out [][2]int
+	start := 0
+	for i, in := range f.Ins {
+		switch in.Kind {
+		case iLabel:
+			if i > start {
+				out = append(out, [2]int{start, i})
+			}
+			start = i
+		case iBr, iCBr, iJT, iRet:
+			out = append(out, [2]int{start, i + 1})
+			start = i + 1
+		}
+	}
+	if start < len(f.Ins) {
+		out = append(out, [2]int{start, len(f.Ins)})
+	}
+	return out
+}
+
+// foldTac folds a TAC binary operator over two constants.
+func foldTac(op string, a, b int32) (int32, bool) {
+	switch op {
+	case "/u":
+		return foldBin("/", a, b, false)
+	case "%u":
+		return foldBin("%", a, b, false)
+	case ">>s":
+		return foldBin(">>", a, b, true)
+	case ">>u":
+		return foldBin(">>", a, b, false)
+	case "<u":
+		return foldBin("<", a, b, false)
+	case "<=u":
+		return foldBin("<=", a, b, false)
+	case ">u":
+		return foldBin(">", a, b, false)
+	case ">=u":
+		return foldBin(">=", a, b, false)
+	default:
+		return foldBin(op, a, b, true)
+	}
+}
+
+// propagate performs per-block constant and copy propagation plus algebraic
+// simplification and constant folding.
+func propagate(f *tacFunc) {
+	for _, r := range blockRanges(f) {
+		val := make(map[Temp]Operand) // temp -> known const or copy source
+		invalidate := func(t Temp) {
+			delete(val, t)
+			for k, v := range val {
+				if !v.IsConst && v.Temp == t {
+					delete(val, k)
+				}
+			}
+		}
+		for i := r[0]; i < r[1]; i++ {
+			in := &f.Ins[i]
+			in.replaceUses(val)
+			if in.Kind == iBin {
+				simplifyBin(in)
+			}
+			if d, ok := in.def(); ok {
+				invalidate(d)
+				switch in.Kind {
+				case iMov:
+					if in.A.IsConst || in.A.Temp != d {
+						val[d] = in.A
+					}
+				case iBin:
+					if in.A.IsConst && in.B.IsConst {
+						if v, ok := foldTac(in.Op, in.A.Val, in.B.Val); ok {
+							*in = ins{Kind: iMov, Dst: d, A: cnst(v)}
+							val[d] = cnst(v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// simplifyBin applies algebraic identities in place, possibly turning the
+// instruction into a move.
+func simplifyBin(in *ins) {
+	isC := func(o Operand, v int32) bool { return o.IsConst && o.Val == v }
+	toMov := func(a Operand) { *in = ins{Kind: iMov, Dst: in.Dst, A: a} }
+	switch in.Op {
+	case "+":
+		if isC(in.B, 0) {
+			toMov(in.A)
+		} else if isC(in.A, 0) {
+			toMov(in.B)
+		}
+	case "-":
+		if isC(in.B, 0) {
+			toMov(in.A)
+		} else if !in.A.IsConst && !in.B.IsConst && in.A.Temp == in.B.Temp {
+			toMov(cnst(0))
+		}
+	case "*":
+		if isC(in.B, 1) {
+			toMov(in.A)
+		} else if isC(in.A, 1) {
+			toMov(in.B)
+		} else if isC(in.A, 0) || isC(in.B, 0) {
+			toMov(cnst(0))
+		}
+	case "&":
+		if isC(in.B, 0) || isC(in.A, 0) {
+			toMov(cnst(0))
+		} else if isC(in.B, -1) {
+			toMov(in.A)
+		} else if isC(in.A, -1) {
+			toMov(in.B)
+		}
+	case "|", "^":
+		if isC(in.B, 0) {
+			toMov(in.A)
+		} else if isC(in.A, 0) {
+			toMov(in.B)
+		}
+	case "<<", ">>s", ">>u":
+		if isC(in.B, 0) {
+			toMov(in.A)
+		}
+	case "/", "/u":
+		if isC(in.B, 1) {
+			toMov(in.A)
+		}
+	}
+}
+
+// localCSE eliminates repeated pure computations within a block.
+type cseKey struct {
+	op   string
+	kind insKind
+	a, b Operand
+	off  int32
+	sym  string
+	slot int
+}
+
+func localCSE(f *tacFunc) {
+	for _, r := range blockRanges(f) {
+		avail := make(map[cseKey]Temp)
+		invalidate := func(t Temp) {
+			for k, v := range avail {
+				if (!k.a.IsConst && k.a.Temp == t) || (!k.b.IsConst && k.b.Temp == t) || v == t {
+					delete(avail, k)
+				}
+			}
+		}
+		for i := r[0]; i < r[1]; i++ {
+			in := &f.Ins[i]
+			var key cseKey
+			cacheable := false
+			switch in.Kind {
+			case iBin:
+				key = cseKey{op: in.Op, kind: iBin, a: in.A, b: in.B}
+				cacheable = true
+			case iAddrG:
+				key = cseKey{kind: iAddrG, sym: in.Sym}
+				cacheable = true
+			case iAddrL:
+				key = cseKey{kind: iAddrL, slot: in.Slot}
+				cacheable = true
+			}
+			if cacheable {
+				if t, ok := avail[key]; ok {
+					*in = ins{Kind: iMov, Dst: in.Dst, A: tmp(t)}
+					if d, ok := in.def(); ok {
+						invalidate(d)
+					}
+					continue
+				}
+			}
+			if d, ok := in.def(); ok {
+				invalidate(d)
+				if cacheable {
+					avail[key] = d
+				}
+			}
+		}
+	}
+}
+
+// simplifyBranches folds constant conditional branches and removes jumps to
+// the immediately following label.
+func simplifyBranches(f *tacFunc) {
+	out := f.Ins[:0]
+	for _, in := range f.Ins {
+		if in.Kind == iCBr && in.A.IsConst && in.B.IsConst {
+			if v, ok := foldTac(cbrFoldOp(in.Op), in.A.Val, in.B.Val); ok {
+				if v != 0 {
+					out = append(out, ins{Kind: iBr, Sym: in.Sym})
+				}
+				continue
+			}
+		}
+		out = append(out, in)
+	}
+	f.Ins = out
+	// Drop br/cbr to the next label.
+	out = f.Ins[:0]
+	for i, in := range f.Ins {
+		if (in.Kind == iBr || in.Kind == iCBr) && i+1 < len(f.Ins) &&
+			f.Ins[i+1].Kind == iLabel && f.Ins[i+1].Sym == in.Sym {
+			continue
+		}
+		out = append(out, in)
+	}
+	f.Ins = out
+}
+
+func cbrFoldOp(op string) string {
+	// iCBr ops are already TAC comparison operators.
+	return op
+}
+
+// removeUnreachable deletes instructions between an unconditional control
+// transfer and the next label, then removes whole blocks no control flow
+// can reach (e.g. arms of statically folded branches).
+func removeUnreachable(f *tacFunc) {
+	out := f.Ins[:0]
+	dead := false
+	for _, in := range f.Ins {
+		if in.Kind == iLabel {
+			dead = false
+		}
+		if dead {
+			continue
+		}
+		out = append(out, in)
+		if in.Kind == iBr || in.Kind == iRet || in.Kind == iJT {
+			dead = true
+		}
+	}
+	f.Ins = out
+	removeUnreachableBlocks(f)
+}
+
+// removeUnreachableBlocks drops basic blocks unreachable from the entry.
+// Indirect jumps (jump tables) conservatively keep every labeled block.
+func removeUnreachableBlocks(f *tacFunc) {
+	for i := range f.Ins {
+		if f.Ins[i].Kind == iJT {
+			return
+		}
+	}
+	ranges := blockRanges(f)
+	if len(ranges) == 0 {
+		return
+	}
+	labelBlock := map[string]int{}
+	for bi, r := range ranges {
+		for j := r[0]; j < r[1] && f.Ins[j].Kind == iLabel; j++ {
+			labelBlock[f.Ins[j].Sym] = bi
+		}
+	}
+	reach := make([]bool, len(ranges))
+	var visit func(bi int)
+	visit = func(bi int) {
+		if bi >= len(ranges) || reach[bi] {
+			return
+		}
+		reach[bi] = true
+		r := ranges[bi]
+		last := f.Ins[r[1]-1]
+		switch last.Kind {
+		case iBr:
+			if t, ok := labelBlock[last.Sym]; ok {
+				visit(t)
+			}
+		case iCBr:
+			if t, ok := labelBlock[last.Sym]; ok {
+				visit(t)
+			}
+			visit(bi + 1)
+		case iRet:
+		default:
+			visit(bi + 1)
+		}
+	}
+	visit(0)
+	out := f.Ins[:0]
+	for bi, r := range ranges {
+		if !reach[bi] {
+			continue
+		}
+		out = append(out, f.Ins[r[0]:r[1]]...)
+	}
+	f.Ins = out
+}
+
+// deadCode removes pure instructions whose results are never used anywhere
+// in the function. Loads are pure in MicroC (no volatile).
+func deadCode(f *tacFunc) {
+	for {
+		used := make(map[Temp]bool)
+		for i := range f.Ins {
+			for _, t := range f.Ins[i].uses() {
+				used[t] = true
+			}
+		}
+		changed := false
+		out := f.Ins[:0]
+		for _, in := range f.Ins {
+			if d, ok := in.def(); ok && !used[d] {
+				switch in.Kind {
+				case iMov, iBin, iLoad, iAddrG, iAddrL:
+					changed = true
+					continue
+				case iCall:
+					// Keep the call, drop the unused result.
+					in.HasDst = false
+				}
+			}
+			out = append(out, in)
+		}
+		f.Ins = out
+		if !changed {
+			return
+		}
+	}
+}
+
+// strengthReduce rewrites multiplications by constants into shift/add/sub
+// sequences when that takes at most 4 operations (the classic heuristic:
+// cheaper than a pipelined multiply), and unsigned divisions/remainders by
+// powers of two into shifts/masks. This is the compiler optimization the
+// paper's "strength promotion" decompiler pass must undo.
+func strengthReduce(f *tacFunc) {
+	var out []ins
+	for _, in := range f.Ins {
+		if in.Kind == iBin {
+			switch in.Op {
+			case "*":
+				c, x, ok := constOperand(&in)
+				if ok {
+					if seq, ok2 := mulSequence(f, x, c, in.Dst); ok2 {
+						out = append(out, seq...)
+						continue
+					}
+				}
+			case "/u":
+				if in.B.IsConst && isPow2(in.B.Val) {
+					out = append(out, ins{Kind: iBin, Op: ">>u", Dst: in.Dst, A: in.A, B: cnst(log2(in.B.Val))})
+					continue
+				}
+			case "%u":
+				if in.B.IsConst && isPow2(in.B.Val) {
+					out = append(out, ins{Kind: iBin, Op: "&", Dst: in.Dst, A: in.A, B: cnst(in.B.Val - 1)})
+					continue
+				}
+			}
+		}
+		out = append(out, in)
+	}
+	f.Ins = out
+}
+
+func constOperand(in *ins) (int32, Operand, bool) {
+	if in.B.IsConst && !in.A.IsConst {
+		return in.B.Val, in.A, true
+	}
+	if in.A.IsConst && !in.B.IsConst {
+		return in.A.Val, in.B, true
+	}
+	return 0, Operand{}, false
+}
+
+func isPow2(v int32) bool { return v > 0 && v&(v-1) == 0 }
+
+func log2(v int32) int32 {
+	n := int32(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// csdTerm is one signed power-of-two term of a constant multiplier.
+type csdTerm struct {
+	shift int32
+	neg   bool
+}
+
+// csdRecode decomposes c into signed power-of-two terms using canonical
+// signed-digit recoding, which minimizes the term count.
+func csdRecode(c int64) []csdTerm {
+	var terms []csdTerm
+	for i := 0; c != 0 && i < 40; i++ {
+		if c&1 != 0 {
+			// Choose digit +1 or -1 so the remaining value is even.
+			if c&3 == 3 { // ...11 -> digit -1, carry
+				terms = append(terms, csdTerm{shift: int32(i), neg: true})
+				c++
+			} else {
+				terms = append(terms, csdTerm{shift: int32(i)})
+				c--
+			}
+		}
+		c >>= 1
+	}
+	return terms
+}
+
+// mulSequence builds the shift/add/sub sequence computing dst = x*c, or
+// reports false when a multiply instruction is cheaper.
+func mulSequence(f *tacFunc, x Operand, c int32, dst Temp) ([]ins, bool) {
+	if c == 0 {
+		return []ins{{Kind: iMov, Dst: dst, A: cnst(0)}}, true
+	}
+	neg := c < 0
+	terms := csdRecode(int64(abs64(int64(c))))
+	// Cost: one shift per nonzero-shift term plus one add/sub per extra
+	// term, plus a final negate. More than 4 ops: keep the multiply.
+	cost := len(terms) - 1
+	for _, t := range terms {
+		if t.shift != 0 {
+			cost++
+		}
+	}
+	if neg {
+		cost++
+	}
+	if cost > 4 || len(terms) == 0 {
+		return nil, false
+	}
+	var seq []ins
+	// acc holds the running sum as an operand.
+	var acc Operand
+	for i, t := range terms {
+		var term Operand
+		if t.shift == 0 {
+			term = x
+		} else {
+			tt := f.newTemp()
+			seq = append(seq, ins{Kind: iBin, Op: "<<", Dst: tt, A: x, B: cnst(t.shift)})
+			term = tmp(tt)
+		}
+		if i == 0 {
+			if t.neg {
+				tt := f.newTemp()
+				seq = append(seq, ins{Kind: iBin, Op: "-", Dst: tt, A: cnst(0), B: term})
+				term = tmp(tt)
+			}
+			acc = term
+			continue
+		}
+		tt := f.newTemp()
+		op := "+"
+		if t.neg {
+			op = "-"
+		}
+		seq = append(seq, ins{Kind: iBin, Op: op, Dst: tt, A: acc, B: term})
+		acc = tmp(tt)
+	}
+	if neg {
+		tt := f.newTemp()
+		seq = append(seq, ins{Kind: iBin, Op: "-", Dst: tt, A: cnst(0), B: acc})
+		acc = tmp(tt)
+	}
+	seq = append(seq, ins{Kind: iMov, Dst: dst, A: acc})
+	return seq, true
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

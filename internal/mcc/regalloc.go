@@ -1,0 +1,307 @@
+package mcc
+
+import (
+	"sort"
+
+	"binpart/internal/mips"
+)
+
+// Register allocation: liveness analysis over TAC followed by linear scan.
+// Temps that are live across a call go to callee-saved $s registers; others
+// to caller-saved $t registers (plus $v1). Temps that do not fit are
+// spilled to frame slots and accessed through the $k0/$k1 scratch
+// registers, which the MicroC runtime never uses otherwise. $at is reserved
+// for immediate materialization and branch lowering.
+
+var callerPool = []mips.Reg{
+	mips.T0, mips.T1, mips.T2, mips.T3, mips.T4, mips.T5, mips.T6, mips.T7,
+	mips.T8, mips.T9, mips.V1,
+}
+
+var calleePool = []mips.Reg{
+	mips.S0, mips.S1, mips.S2, mips.S3, mips.S4, mips.S5, mips.S6, mips.S7,
+}
+
+// allocation is the result of register allocation for one function.
+type allocation struct {
+	reg        map[Temp]mips.Reg
+	spill      map[Temp]int // temp -> spill slot index (within spill area)
+	numSpills  int
+	usedCallee []mips.Reg // callee-saved registers the prologue must save
+	hasCall    bool
+}
+
+// tacBlock is a basic block over instruction index ranges with successors.
+type tacBlock struct {
+	start, end int // [start, end)
+	succs      []int
+	liveIn     map[Temp]bool
+	liveOut    map[Temp]bool
+}
+
+// buildBlocks splits the function into basic blocks and wires successors.
+func buildBlocks(f *tacFunc) []*tacBlock {
+	ranges := blockRanges(f)
+	blocks := make([]*tacBlock, len(ranges))
+	labelBlock := make(map[string]int)
+	for i, r := range ranges {
+		blocks[i] = &tacBlock{start: r[0], end: r[1],
+			liveIn: make(map[Temp]bool), liveOut: make(map[Temp]bool)}
+		if f.Ins[r[0]].Kind == iLabel {
+			labelBlock[f.Ins[r[0]].Sym] = i
+		}
+	}
+	// A block may start with several consecutive labels only if empty
+	// blocks exist between them; blockRanges creates one block per label,
+	// so map every label at a block head.
+	for i, r := range ranges {
+		for j := r[0]; j < r[1] && f.Ins[j].Kind == iLabel; j++ {
+			labelBlock[f.Ins[j].Sym] = i
+		}
+	}
+	allLabelBlocks := make([]int, 0, len(labelBlock))
+	for _, b := range labelBlock {
+		allLabelBlocks = append(allLabelBlocks, b)
+	}
+	for i, b := range blocks {
+		last := f.Ins[b.end-1]
+		switch last.Kind {
+		case iBr:
+			if t, ok := labelBlock[last.Sym]; ok {
+				b.succs = append(b.succs, t)
+			}
+		case iCBr:
+			if t, ok := labelBlock[last.Sym]; ok {
+				b.succs = append(b.succs, t)
+			}
+			if i+1 < len(blocks) {
+				b.succs = append(b.succs, i+1)
+			}
+		case iRet:
+		case iJT:
+			// Conservative: an indirect jump may reach any label.
+			b.succs = append(b.succs, allLabelBlocks...)
+		default:
+			if i+1 < len(blocks) {
+				b.succs = append(b.succs, i+1)
+			}
+		}
+	}
+	return blocks
+}
+
+// liveness computes live-in/out sets per block by iteration to fixpoint.
+func liveness(f *tacFunc, blocks []*tacBlock) {
+	type genKill struct {
+		gen  map[Temp]bool
+		kill map[Temp]bool
+	}
+	gks := make([]genKill, len(blocks))
+	for i, b := range blocks {
+		gk := genKill{gen: make(map[Temp]bool), kill: make(map[Temp]bool)}
+		for j := b.start; j < b.end; j++ {
+			in := &f.Ins[j]
+			for _, u := range in.uses() {
+				if !gk.kill[u] {
+					gk.gen[u] = true
+				}
+			}
+			if d, ok := in.def(); ok {
+				gk.kill[d] = true
+			}
+		}
+		gks[i] = gk
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(blocks) - 1; i >= 0; i-- {
+			b := blocks[i]
+			for _, s := range b.succs {
+				for t := range blocks[s].liveIn {
+					if !b.liveOut[t] {
+						b.liveOut[t] = true
+						changed = true
+					}
+				}
+			}
+			for t := range b.liveOut {
+				if !gks[i].kill[t] && !b.liveIn[t] {
+					b.liveIn[t] = true
+					changed = true
+				}
+			}
+			for t := range gks[i].gen {
+				if !b.liveIn[t] {
+					b.liveIn[t] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// interval is the linearized live range of a temp.
+type interval struct {
+	t          Temp
+	start, end int
+	acrossCall bool
+}
+
+// computeIntervals builds conservative live intervals and marks temps live
+// across calls.
+func computeIntervals(f *tacFunc, blocks []*tacBlock) []interval {
+	const unset = -1
+	start := make(map[Temp]int)
+	end := make(map[Temp]int)
+	touch := func(t Temp, i int) {
+		if s, ok := start[t]; !ok || i < s {
+			start[t] = i
+		}
+		if e, ok := end[t]; !ok || i > e {
+			end[t] = i
+		}
+	}
+	_ = unset
+	// Parameters are defined at entry.
+	for _, p := range f.Params {
+		touch(p, 0)
+	}
+	for i := range f.Ins {
+		in := &f.Ins[i]
+		for _, u := range in.uses() {
+			touch(u, i)
+		}
+		if d, ok := in.def(); ok {
+			touch(d, i)
+		}
+	}
+	for _, b := range blocks {
+		for t := range b.liveIn {
+			touch(t, b.start)
+		}
+		for t := range b.liveOut {
+			touch(t, b.end-1)
+		}
+	}
+
+	across := make(map[Temp]bool)
+	for _, b := range blocks {
+		// Per-instruction liveness backward within the block.
+		live := make(map[Temp]bool)
+		for t := range b.liveOut {
+			live[t] = true
+		}
+		for j := b.end - 1; j >= b.start; j-- {
+			in := &f.Ins[j]
+			if d, ok := in.def(); ok {
+				delete(live, d)
+			}
+			if in.Kind == iCall {
+				for t := range live {
+					across[t] = true
+				}
+			}
+			for _, u := range in.uses() {
+				live[u] = true
+			}
+		}
+	}
+
+	ivs := make([]interval, 0, len(start))
+	for t, s := range start {
+		ivs = append(ivs, interval{t: t, start: s, end: end[t], acrossCall: across[t]})
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].t < ivs[j].t
+	})
+	return ivs
+}
+
+// allocate runs linear scan over the intervals.
+func allocate(f *tacFunc) *allocation {
+	blocks := buildBlocks(f)
+	liveness(f, blocks)
+	ivs := computeIntervals(f, blocks)
+
+	a := &allocation{reg: make(map[Temp]mips.Reg), spill: make(map[Temp]int)}
+	for i := range f.Ins {
+		if f.Ins[i].Kind == iCall {
+			a.hasCall = true
+			break
+		}
+	}
+
+	type active struct {
+		iv  interval
+		reg mips.Reg
+	}
+	var act []active
+	freeCaller := append([]mips.Reg(nil), callerPool...)
+	freeCallee := append([]mips.Reg(nil), calleePool...)
+	usedCallee := make(map[mips.Reg]bool)
+
+	expire := func(pos int) {
+		out := act[:0]
+		for _, ac := range act {
+			if ac.iv.end < pos {
+				if ac.iv.acrossCall {
+					freeCallee = append(freeCallee, ac.reg)
+				} else {
+					freeCaller = append(freeCaller, ac.reg)
+				}
+				continue
+			}
+			out = append(out, ac)
+		}
+		act = out
+	}
+
+	for _, iv := range ivs {
+		expire(iv.start)
+		pool := &freeCaller
+		if iv.acrossCall {
+			pool = &freeCallee
+		}
+		if len(*pool) == 0 {
+			// Spill the active interval (same class) with the furthest
+			// end, or this one.
+			victim := -1
+			for i, ac := range act {
+				if ac.iv.acrossCall == iv.acrossCall && ac.iv.end > iv.end {
+					if victim < 0 || ac.iv.end > act[victim].iv.end {
+						victim = i
+					}
+				}
+			}
+			if victim >= 0 {
+				v := act[victim]
+				a.spill[v.iv.t] = a.numSpills
+				a.numSpills++
+				delete(a.reg, v.iv.t)
+				a.reg[iv.t] = v.reg
+				act[victim] = active{iv: iv, reg: v.reg}
+			} else {
+				a.spill[iv.t] = a.numSpills
+				a.numSpills++
+			}
+			continue
+		}
+		r := (*pool)[len(*pool)-1]
+		*pool = (*pool)[:len(*pool)-1]
+		a.reg[iv.t] = r
+		if iv.acrossCall {
+			usedCallee[r] = true
+		}
+		act = append(act, active{iv: iv, reg: r})
+	}
+
+	for _, r := range calleePool {
+		if usedCallee[r] {
+			a.usedCallee = append(a.usedCallee, r)
+		}
+	}
+	return a
+}

@@ -1,0 +1,357 @@
+package mips
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates MIPS assembly text into instructions. It is a small
+// two-pass assembler intended for tests and hand-written fixtures; the
+// MicroC compiler emits Inst values directly and does not go through text.
+//
+// Supported syntax, one instruction per line:
+//
+//	label:
+//	addu $t0, $t1, $t2
+//	addiu $sp, $sp, -8
+//	lw $t0, 4($sp)
+//	beq $t0, $zero, done
+//	j loop
+//	nop / break
+//	# comment or ; comment
+//
+// base is the byte address of the first instruction; it is used to resolve
+// J/JAL label targets to absolute addresses. The returned map gives the
+// byte address of every label.
+func Assemble(src string, base uint32) ([]Inst, map[string]uint32, error) {
+	type line struct {
+		n    int // 1-based source line for diagnostics
+		text string
+	}
+	var lines []line
+	labels := make(map[string]uint32)
+
+	// Pass 1: strip comments, record labels, collect instruction lines.
+	pc := base
+	for n, raw := range strings.Split(src, "\n") {
+		s := raw
+		if i := strings.IndexAny(s, "#;"); i >= 0 {
+			s = s[:i]
+		}
+		s = strings.TrimSpace(s)
+		for {
+			colon := strings.Index(s, ":")
+			if colon < 0 {
+				break
+			}
+			name := strings.TrimSpace(s[:colon])
+			if name == "" || strings.ContainsAny(name, " \t,()") {
+				return nil, nil, fmt.Errorf("mips: line %d: bad label %q", n+1, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, nil, fmt.Errorf("mips: line %d: duplicate label %q", n+1, name)
+			}
+			labels[name] = pc
+			s = strings.TrimSpace(s[colon+1:])
+		}
+		if s == "" {
+			continue
+		}
+		lines = append(lines, line{n + 1, s})
+		pc += 4
+	}
+
+	// Pass 2: parse instructions with label resolution.
+	insts := make([]Inst, 0, len(lines))
+	pc = base
+	for _, ln := range lines {
+		inst, err := parseInst(ln.text, pc, labels)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mips: line %d: %w", ln.n, err)
+		}
+		insts = append(insts, inst)
+		pc += 4
+	}
+	return insts, labels, nil
+}
+
+// AssembleWords assembles src and encodes the result to machine words.
+func AssembleWords(src string, base uint32) ([]uint32, error) {
+	insts, _, err := Assemble(src, base)
+	if err != nil {
+		return nil, err
+	}
+	words := make([]uint32, len(insts))
+	for i, inst := range insts {
+		w, err := Encode(inst)
+		if err != nil {
+			return nil, err
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+func parseInst(s string, pc uint32, labels map[string]uint32) (Inst, error) {
+	fields := strings.Fields(s)
+	mn := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(s[len(fields[0]):])
+	var args []string
+	if rest != "" {
+		args = strings.Split(rest, ",")
+		for i := range args {
+			args[i] = strings.TrimSpace(args[i])
+		}
+	}
+
+	var op Op = numOps
+	for o := Op(0); o < numOps; o++ {
+		if opNames[o] == mn {
+			op = o
+			break
+		}
+	}
+	if op == numOps {
+		// Common convenience pseudo-instructions.
+		switch mn {
+		case "move":
+			if len(args) != 2 {
+				return Inst{}, fmt.Errorf("move needs 2 operands")
+			}
+			rd, err1 := parseReg(args[0])
+			rs, err2 := parseReg(args[1])
+			if err1 != nil || err2 != nil {
+				return Inst{}, fmt.Errorf("bad move operands %q", args)
+			}
+			return Inst{Op: ADDU, Rd: rd, Rs: rs, Rt: Zero}, nil
+		case "li":
+			if len(args) != 2 {
+				return Inst{}, fmt.Errorf("li needs 2 operands")
+			}
+			rt, err1 := parseReg(args[0])
+			v, err2 := parseImm(args[1])
+			if err1 != nil || err2 != nil {
+				return Inst{}, fmt.Errorf("bad li operands %q", args)
+			}
+			if v < -32768 || v > 32767 {
+				return Inst{}, fmt.Errorf("li immediate %d out of 16-bit range (use lui/ori)", v)
+			}
+			return Inst{Op: ADDIU, Rt: rt, Rs: Zero, Imm: v}, nil
+		}
+		return Inst{}, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", mn, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case NOP, BREAK:
+		return Inst{Op: op}, need(0)
+	case ADD, ADDU, SUB, SUBU, AND, OR, XOR, NOR, SLT, SLTU:
+		if err := need(3); err != nil {
+			return Inst{}, err
+		}
+		rd, e1 := parseReg(args[0])
+		rs, e2 := parseReg(args[1])
+		rt, e3 := parseReg(args[2])
+		if e := firstErr(e1, e2, e3); e != nil {
+			return Inst{}, e
+		}
+		return Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}, nil
+	case SLLV, SRLV, SRAV:
+		// Conventional syntax: op rd, rt, rs (value shifted by rs).
+		if err := need(3); err != nil {
+			return Inst{}, err
+		}
+		rd, e1 := parseReg(args[0])
+		rt, e2 := parseReg(args[1])
+		rs, e3 := parseReg(args[2])
+		if e := firstErr(e1, e2, e3); e != nil {
+			return Inst{}, e
+		}
+		return Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}, nil
+	case SLL, SRL, SRA:
+		if err := need(3); err != nil {
+			return Inst{}, err
+		}
+		rd, e1 := parseReg(args[0])
+		rt, e2 := parseReg(args[1])
+		sh, e3 := parseImm(args[2])
+		if e := firstErr(e1, e2, e3); e != nil {
+			return Inst{}, e
+		}
+		return Inst{Op: op, Rd: rd, Rt: rt, Imm: sh}, nil
+	case MULT, MULTU, DIV, DIVU:
+		if err := need(2); err != nil {
+			return Inst{}, err
+		}
+		rs, e1 := parseReg(args[0])
+		rt, e2 := parseReg(args[1])
+		if e := firstErr(e1, e2); e != nil {
+			return Inst{}, e
+		}
+		return Inst{Op: op, Rs: rs, Rt: rt}, nil
+	case MFHI, MFLO:
+		if err := need(1); err != nil {
+			return Inst{}, err
+		}
+		rd, err := parseReg(args[0])
+		return Inst{Op: op, Rd: rd}, err
+	case MTHI, MTLO, JR:
+		if err := need(1); err != nil {
+			return Inst{}, err
+		}
+		rs, err := parseReg(args[0])
+		return Inst{Op: op, Rs: rs}, err
+	case JALR:
+		switch len(args) {
+		case 1:
+			rs, err := parseReg(args[0])
+			return Inst{Op: JALR, Rd: RA, Rs: rs}, err
+		case 2:
+			rd, e1 := parseReg(args[0])
+			rs, e2 := parseReg(args[1])
+			return Inst{Op: JALR, Rd: rd, Rs: rs}, firstErr(e1, e2)
+		}
+		return Inst{}, fmt.Errorf("jalr needs 1 or 2 operands")
+	case ADDI, ADDIU, SLTI, SLTIU, ANDI, ORI, XORI:
+		if err := need(3); err != nil {
+			return Inst{}, err
+		}
+		rt, e1 := parseReg(args[0])
+		rs, e2 := parseReg(args[1])
+		v, e3 := parseImm(args[2])
+		if e := firstErr(e1, e2, e3); e != nil {
+			return Inst{}, e
+		}
+		return Inst{Op: op, Rt: rt, Rs: rs, Imm: v}, nil
+	case LUI:
+		if err := need(2); err != nil {
+			return Inst{}, err
+		}
+		rt, e1 := parseReg(args[0])
+		v, e2 := parseImm(args[1])
+		if e := firstErr(e1, e2); e != nil {
+			return Inst{}, e
+		}
+		return Inst{Op: LUI, Rt: rt, Imm: v}, nil
+	case LB, LBU, LH, LHU, LW, SB, SH, SW:
+		if err := need(2); err != nil {
+			return Inst{}, err
+		}
+		rt, e1 := parseReg(args[0])
+		off, rs, e2 := parseMem(args[1])
+		if e := firstErr(e1, e2); e != nil {
+			return Inst{}, e
+		}
+		return Inst{Op: op, Rt: rt, Rs: rs, Imm: off}, nil
+	case BEQ, BNE:
+		if err := need(3); err != nil {
+			return Inst{}, err
+		}
+		rs, e1 := parseReg(args[0])
+		rt, e2 := parseReg(args[1])
+		off, e3 := branchOffset(args[2], pc, labels)
+		if e := firstErr(e1, e2, e3); e != nil {
+			return Inst{}, e
+		}
+		return Inst{Op: op, Rs: rs, Rt: rt, Imm: off}, nil
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		if err := need(2); err != nil {
+			return Inst{}, err
+		}
+		rs, e1 := parseReg(args[0])
+		off, e2 := branchOffset(args[1], pc, labels)
+		if e := firstErr(e1, e2); e != nil {
+			return Inst{}, e
+		}
+		return Inst{Op: op, Rs: rs, Imm: off}, nil
+	case J, JAL:
+		if err := need(1); err != nil {
+			return Inst{}, err
+		}
+		if addr, ok := labels[args[0]]; ok {
+			return Inst{Op: op, Target: addr}, nil
+		}
+		v, err := parseImm(args[0])
+		if err != nil {
+			return Inst{}, fmt.Errorf("unknown jump target %q", args[0])
+		}
+		return Inst{Op: op, Target: uint32(v)}, nil
+	}
+	return Inst{}, fmt.Errorf("unhandled mnemonic %q", mn)
+}
+
+func branchOffset(arg string, pc uint32, labels map[string]uint32) (int32, error) {
+	if addr, ok := labels[arg]; ok {
+		return (int32(addr) - int32(pc+4)) / 4, nil
+	}
+	return parseImm(arg)
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	name := s[1:]
+	if n, err := strconv.Atoi(name); err == nil {
+		if n < 0 || n > 31 {
+			return 0, fmt.Errorf("register number %d out of range", n)
+		}
+		return Reg(n), nil
+	}
+	for i, rn := range regNames {
+		if rn == name {
+			return Reg(i), nil
+		}
+	}
+	// Accept $s8 as an alias for $fp, as some toolchains print it.
+	if name == "s8" {
+		return FP, nil
+	}
+	return 0, fmt.Errorf("unknown register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return int32(v), nil
+}
+
+func parseMem(s string) (int32, Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	var off int32
+	if open > 0 {
+		v, err := parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	r, err := parseReg(s[open+1 : len(s)-1])
+	return off, r, err
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+// Package partition implements hardware/software partitioning. The
+// primary algorithm is the paper's fast three-step 90-10 heuristic:
+//
+//  1. Profiling identifies the most frequent few loops — typically 90 %
+//     of execution in a few dozen lines — and puts them in hardware.
+//  2. Alias information pulls in regions touching the same memory as the
+//     selected loops, so those arrays can move into FPGA block RAM.
+//  3. Remaining regions are added by profit density until the area
+//     constraint is hit (allowing whole-application synthesis when the
+//     device is large enough).
+//
+// The paper chooses this heuristic over classic formulations for speed
+// (it targets integration with dynamic partitioning), so the package also
+// provides the comparison baselines it cites: a Henkel-style greedy
+// gain/area knapsack, a simplified Kalavade/Lee GCLP, and exact
+// exhaustive search for small candidate sets.
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Candidate is one region eligible for hardware implementation.
+type Candidate struct {
+	// Name identifies the region for reports.
+	Name string
+	// SWTimeNs is the profiled time the region spends on the CPU per
+	// application run.
+	SWTimeNs float64
+	// HWTimeNs is the estimated time of the hardware implementation per
+	// application run, including per-invocation communication.
+	HWTimeNs float64
+	// AreaGates is the estimated equivalent-gate cost.
+	AreaGates int
+	// Footprint lists the data objects the region accesses (for step 2).
+	Footprint []string
+	// SizeInstrs is the region's static size ("a few dozen lines").
+	SizeInstrs int
+	// IsLoop marks loop regions (step 1 considers only loops).
+	IsLoop bool
+	// Payload carries caller context (e.g. the synthesized design).
+	Payload any
+}
+
+// Gain is the time saved by moving the candidate to hardware.
+func (c *Candidate) Gain() float64 { return c.SWTimeNs - c.HWTimeNs }
+
+// Options tunes the 90-10 heuristic.
+type Options struct {
+	// CoverageTarget is the fraction of loop execution time step 1
+	// covers; the paper's rule of thumb is 0.9.
+	CoverageTarget float64
+	// MaxLoopInstrs caps the size of step-1 loops ("a few dozen lines").
+	MaxLoopInstrs int
+	// SkipAliasStep disables step 2 (for ablation).
+	SkipAliasStep bool
+	// SkipFillStep disables step 3 (for ablation).
+	SkipFillStep bool
+}
+
+// DefaultOptions returns the paper's parameters.
+func DefaultOptions() Options {
+	return Options{CoverageTarget: 0.9, MaxLoopInstrs: 150}
+}
+
+// Result is a chosen partition.
+type Result struct {
+	Selected []*Candidate
+	// Step maps candidate name to the step (1..3) that selected it.
+	Step map[string]int
+	// TotalGates is the area consumed.
+	TotalGates int
+}
+
+// selectedTime sums HW time over selected and SW time over the rest.
+func totalTime(cands []*Candidate, chosen map[*Candidate]bool) float64 {
+	var t float64
+	for _, c := range cands {
+		if chosen[c] {
+			t += c.HWTimeNs
+		} else {
+			t += c.SWTimeNs
+		}
+	}
+	return t
+}
+
+// Partition runs the three-step 90-10 heuristic under an equivalent-gate
+// budget.
+func Partition(cands []*Candidate, budgetGates int, opts Options) *Result {
+	if opts.CoverageTarget <= 0 {
+		opts.CoverageTarget = 0.9
+	}
+	if opts.MaxLoopInstrs <= 0 {
+		opts.MaxLoopInstrs = 150
+	}
+	res := &Result{Step: map[string]int{}}
+	chosen := map[*Candidate]bool{}
+	area := 0
+	add := func(c *Candidate, step int) bool {
+		if chosen[c] || area+c.AreaGates > budgetGates {
+			return false
+		}
+		chosen[c] = true
+		area += c.AreaGates
+		res.Selected = append(res.Selected, c)
+		res.Step[c.Name] = step
+		return true
+	}
+
+	// Step 1: most frequent loops up to the coverage target.
+	loops := make([]*Candidate, 0, len(cands))
+	var loopTotal float64
+	for _, c := range cands {
+		if c.IsLoop {
+			loops = append(loops, c)
+			loopTotal += c.SWTimeNs
+		}
+	}
+	sort.SliceStable(loops, func(i, j int) bool { return loops[i].SWTimeNs > loops[j].SWTimeNs })
+	var covered float64
+	for _, c := range loops {
+		if loopTotal > 0 && covered/loopTotal >= opts.CoverageTarget {
+			break
+		}
+		if c.SizeInstrs > opts.MaxLoopInstrs || c.Gain() <= 0 {
+			continue
+		}
+		if add(c, 1) {
+			covered += c.SWTimeNs
+		}
+	}
+
+	// Step 2: alias affinity — regions sharing arrays with the hardware
+	// partition, so the arrays can live in FPGA memory.
+	if !opts.SkipAliasStep {
+		inHW := map[string]bool{}
+		for c := range chosen {
+			for _, s := range c.Footprint {
+				inHW[s] = true
+			}
+		}
+		for _, c := range cands {
+			if chosen[c] || c.Gain() <= 0 {
+				continue
+			}
+			affine := false
+			for _, s := range c.Footprint {
+				if inHW[s] {
+					affine = true
+				}
+			}
+			if affine {
+				add(c, 2)
+			}
+		}
+	}
+
+	// Step 3: fill by profit density until the constraint is violated;
+	// an entire application can be synthesized if space allows.
+	if !opts.SkipFillStep {
+		rest := make([]*Candidate, 0, len(cands))
+		for _, c := range cands {
+			if !chosen[c] && c.Gain() > 0 && c.AreaGates > 0 {
+				rest = append(rest, c)
+			}
+		}
+		sort.SliceStable(rest, func(i, j int) bool {
+			return rest[i].Gain()/float64(rest[i].AreaGates) > rest[j].Gain()/float64(rest[j].AreaGates)
+		})
+		for _, c := range rest {
+			add(c, 3)
+		}
+	}
+
+	res.TotalGates = area
+	return res
+}
+
+// GreedyKnapsack is the Henkel-style baseline: pure gain/area ordering.
+func GreedyKnapsack(cands []*Candidate, budgetGates int) *Result {
+	res := &Result{Step: map[string]int{}}
+	order := make([]*Candidate, 0, len(cands))
+	for _, c := range cands {
+		if c.Gain() > 0 && c.AreaGates > 0 {
+			order = append(order, c)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].Gain()/float64(order[i].AreaGates) > order[j].Gain()/float64(order[j].AreaGates)
+	})
+	area := 0
+	for _, c := range order {
+		if area+c.AreaGates > budgetGates {
+			continue
+		}
+		area += c.AreaGates
+		res.Selected = append(res.Selected, c)
+		res.Step[c.Name] = 1
+	}
+	res.TotalGates = area
+	return res
+}
+
+// GCLP is a simplified Kalavade/Lee global-criticality/local-phase
+// baseline: it alternates between time-driven and area-driven selection
+// depending on how critical the remaining deadline is, using the
+// all-software time as the implicit deadline reference.
+func GCLP(cands []*Candidate, budgetGates int) *Result {
+	res := &Result{Step: map[string]int{}}
+	remaining := append([]*Candidate(nil), cands...)
+	chosen := map[*Candidate]bool{}
+	area := 0
+
+	var totalSW float64
+	for _, c := range cands {
+		totalSW += c.SWTimeNs
+	}
+	for len(remaining) > 0 {
+		// Global criticality: fraction of time still spent in software
+		// regions; high GC favors the biggest time winner, low GC favors
+		// the densest.
+		var swLeft float64
+		for _, c := range remaining {
+			if !chosen[c] {
+				swLeft += c.SWTimeNs
+			}
+		}
+		gc := 0.0
+		if totalSW > 0 {
+			gc = swLeft / totalSW
+		}
+		var best *Candidate
+		var bestKey float64
+		for _, c := range remaining {
+			if chosen[c] || c.Gain() <= 0 || area+c.AreaGates > budgetGates {
+				continue
+			}
+			var key float64
+			if gc > 0.5 {
+				key = c.Gain()
+			} else {
+				key = c.Gain() / float64(c.AreaGates+1)
+			}
+			if best == nil || key > bestKey {
+				best, bestKey = c, key
+			}
+		}
+		if best == nil {
+			break
+		}
+		chosen[best] = true
+		area += best.AreaGates
+		res.Selected = append(res.Selected, best)
+		res.Step[best.Name] = 1
+	}
+	res.TotalGates = area
+	return res
+}
+
+// Exhaustive finds the optimal subset by enumeration; it refuses inputs
+// beyond 20 candidates.
+func Exhaustive(cands []*Candidate, budgetGates int) (*Result, error) {
+	if len(cands) > 20 {
+		return nil, fmt.Errorf("partition: exhaustive search limited to 20 candidates, got %d", len(cands))
+	}
+	bestMask := 0
+	bestTime := totalTime(cands, nil)
+	for mask := 0; mask < 1<<len(cands); mask++ {
+		area := 0
+		chosen := map[*Candidate]bool{}
+		for i, c := range cands {
+			if mask&(1<<i) != 0 {
+				area += c.AreaGates
+				chosen[c] = true
+			}
+		}
+		if area > budgetGates {
+			continue
+		}
+		if t := totalTime(cands, chosen); t < bestTime {
+			bestTime, bestMask = t, mask
+		}
+	}
+	res := &Result{Step: map[string]int{}}
+	for i, c := range cands {
+		if bestMask&(1<<i) != 0 {
+			res.Selected = append(res.Selected, c)
+			res.Step[c.Name] = 1
+			res.TotalGates += c.AreaGates
+		}
+	}
+	return res, nil
+}
+
+// Time returns the application time of a partitioning decision over the
+// candidate set (software time for unselected, hardware for selected).
+func (r *Result) Time(cands []*Candidate) float64 {
+	chosen := map[*Candidate]bool{}
+	for _, c := range r.Selected {
+		chosen[c] = true
+	}
+	return totalTime(cands, chosen)
+}

@@ -1,0 +1,266 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cand(name string, sw, hw float64, area int, fp ...string) *Candidate {
+	return &Candidate{
+		Name: name, SWTimeNs: sw, HWTimeNs: hw, AreaGates: area,
+		Footprint: fp, SizeInstrs: 30, IsLoop: true,
+	}
+}
+
+func TestStep1PicksHotLoops(t *testing.T) {
+	cands := []*Candidate{
+		cand("hot", 9000, 500, 10000),
+		cand("warm", 900, 100, 10000),
+		cand("cold", 100, 50, 10000),
+	}
+	res := Partition(cands, 100000, DefaultOptions())
+	if res.Step["hot"] != 1 {
+		t.Errorf("hot loop selected in step %d, want 1", res.Step["hot"])
+	}
+	// hot covers 90% of loop time, so warm/cold are not step-1 picks.
+	if res.Step["warm"] == 1 {
+		t.Error("warm loop selected in step 1 despite coverage target met")
+	}
+}
+
+func TestStep2PullsAliasAffineRegions(t *testing.T) {
+	cands := []*Candidate{
+		cand("hot", 9500, 500, 10000, "buf"),
+		cand("sharer", 300, 200, 10000, "buf"),
+		cand("stranger", 300, 200, 10000, "other"),
+	}
+	opts := DefaultOptions()
+	opts.SkipFillStep = true
+	res := Partition(cands, 100000, opts)
+	if res.Step["sharer"] != 2 {
+		t.Errorf("sharer selected in step %d, want 2 (alias affinity)", res.Step["sharer"])
+	}
+	if _, ok := res.Step["stranger"]; ok {
+		t.Error("stranger selected despite no shared memory and fill disabled")
+	}
+}
+
+func TestStep3FillsUntilBudget(t *testing.T) {
+	cands := []*Candidate{
+		cand("hot", 9500, 500, 10000, "a"),
+		cand("dense", 400, 100, 1000, "b"),
+		cand("sparse", 400, 100, 40000, "c"),
+	}
+	res := Partition(cands, 12000, DefaultOptions())
+	if res.Step["dense"] != 3 {
+		t.Errorf("dense selected in step %d, want 3", res.Step["dense"])
+	}
+	if _, ok := res.Step["sparse"]; ok {
+		t.Error("sparse selected despite exceeding budget")
+	}
+	if res.TotalGates > 12000 {
+		t.Errorf("budget violated: %d > 12000", res.TotalGates)
+	}
+}
+
+func TestAreaConstraintRespected(t *testing.T) {
+	cands := []*Candidate{
+		cand("a", 5000, 100, 9000),
+		cand("b", 4000, 100, 9000),
+		cand("c", 3000, 100, 9000),
+	}
+	res := Partition(cands, 10000, DefaultOptions())
+	if res.TotalGates > 10000 {
+		t.Errorf("area %d exceeds budget", res.TotalGates)
+	}
+	if len(res.Selected) != 1 {
+		t.Errorf("selected %d regions, want exactly 1 under this budget", len(res.Selected))
+	}
+}
+
+func TestNegativeGainExcluded(t *testing.T) {
+	cands := []*Candidate{
+		cand("loser", 100, 5000, 1000), // hardware slower than software
+		cand("winner", 5000, 100, 1000),
+	}
+	res := Partition(cands, 100000, DefaultOptions())
+	if _, ok := res.Step["loser"]; ok {
+		t.Error("region with negative gain was selected")
+	}
+	if _, ok := res.Step["winner"]; !ok {
+		t.Error("winner not selected")
+	}
+}
+
+func TestWholeApplicationWhenSpaceAllows(t *testing.T) {
+	// Paper: "This final step allows an entire application to be
+	// synthesized if space allows."
+	var cands []*Candidate
+	for i := 0; i < 10; i++ {
+		cands = append(cands, cand(string(rune('a'+i)), 1000, 100, 1000))
+	}
+	res := Partition(cands, 1<<30, DefaultOptions())
+	if len(res.Selected) != len(cands) {
+		t.Errorf("selected %d of %d regions with unlimited area", len(res.Selected), len(cands))
+	}
+}
+
+func TestSizeCapInStep1(t *testing.T) {
+	big := cand("big", 9000, 100, 1000)
+	big.SizeInstrs = 10000
+	small := cand("small", 1000, 100, 1000)
+	opts := DefaultOptions()
+	opts.SkipAliasStep = true
+	opts.SkipFillStep = true
+	res := Partition([]*Candidate{big, small}, 100000, opts)
+	if _, ok := res.Step["big"]; ok {
+		t.Error("oversized loop selected in step 1")
+	}
+	if res.Step["small"] != 1 {
+		t.Error("small hot loop not selected")
+	}
+}
+
+func TestBaselinesRespectBudget(t *testing.T) {
+	cands := []*Candidate{
+		cand("a", 9000, 500, 15000),
+		cand("b", 4000, 400, 8000),
+		cand("c", 2000, 300, 4000),
+		cand("d", 1000, 200, 2000),
+	}
+	for name, run := range map[string]func() *Result{
+		"greedy": func() *Result { return GreedyKnapsack(cands, 10000) },
+		"gclp":   func() *Result { return GCLP(cands, 10000) },
+		"90-10":  func() *Result { return Partition(cands, 10000, DefaultOptions()) },
+	} {
+		res := run()
+		if res.TotalGates > 10000 {
+			t.Errorf("%s violates budget: %d", name, res.TotalGates)
+		}
+	}
+}
+
+func TestExhaustiveIsOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		n := 2 + r.Intn(8)
+		var cands []*Candidate
+		for i := 0; i < n; i++ {
+			cands = append(cands, cand(
+				string(rune('a'+i)),
+				float64(100+r.Intn(5000)),
+				float64(50+r.Intn(2000)),
+				500+r.Intn(8000),
+			))
+		}
+		budget := 2000 + r.Intn(20000)
+		opt, err := Exhaustive(cands, budget)
+		if err != nil {
+			return false
+		}
+		// No heuristic may beat the exhaustive optimum.
+		for _, res := range []*Result{
+			Partition(cands, budget, DefaultOptions()),
+			GreedyKnapsack(cands, budget),
+			GCLP(cands, budget),
+		} {
+			if res.Time(cands) < opt.Time(cands)-1e-6 {
+				return false
+			}
+			if res.TotalGates > budget {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExhaustiveRejectsLargeInputs(t *testing.T) {
+	var cands []*Candidate
+	for i := 0; i < 21; i++ {
+		cands = append(cands, cand(string(rune('a'+i)), 100, 50, 100))
+	}
+	if _, err := Exhaustive(cands, 1000); err == nil {
+		t.Error("Exhaustive accepted 21 candidates")
+	}
+}
+
+func TestResultTime(t *testing.T) {
+	cands := []*Candidate{
+		cand("a", 1000, 100, 100),
+		cand("b", 2000, 300, 100),
+	}
+	res := &Result{Selected: []*Candidate{cands[0]}, Step: map[string]int{"a": 1}}
+	// a in hardware (100), b in software (2000).
+	if got := res.Time(cands); got != 2100 {
+		t.Errorf("Time = %v, want 2100", got)
+	}
+}
+
+func TestCoverageTargetVariants(t *testing.T) {
+	// Raising the coverage target pulls more loops into step 1.
+	cands := []*Candidate{
+		cand("a", 5000, 100, 1000),
+		cand("b", 3000, 100, 1000),
+		cand("c", 1500, 100, 1000),
+		cand("d", 500, 100, 1000),
+	}
+	lo := DefaultOptions()
+	lo.CoverageTarget = 0.5
+	lo.SkipAliasStep, lo.SkipFillStep = true, true
+	hi := DefaultOptions()
+	hi.CoverageTarget = 0.99
+	hi.SkipAliasStep, hi.SkipFillStep = true, true
+	nLo := len(Partition(cands, 1<<30, lo).Selected)
+	nHi := len(Partition(cands, 1<<30, hi).Selected)
+	if nHi <= nLo {
+		t.Errorf("coverage 0.99 selected %d, coverage 0.5 selected %d", nHi, nLo)
+	}
+}
+
+func TestGCLPPhaseSwitch(t *testing.T) {
+	// With most time already moved to hardware, GCLP switches to
+	// area-driven selection: between two equal-gain candidates it must
+	// prefer the denser one once criticality is low.
+	cands := []*Candidate{
+		cand("huge", 100000, 100, 100), // selected first, drops GC below 0.5
+		cand("dense", 1000, 100, 500),
+		cand("sparse", 1100, 100, 20000),
+	}
+	res := GCLP(cands, 100+500) // room for huge + dense only
+	if _, ok := res.Step["dense"]; !ok {
+		t.Errorf("GCLP did not pick the dense candidate: %+v", res.Step)
+	}
+}
+
+func TestPartitionEmptyAndDegenerate(t *testing.T) {
+	if res := Partition(nil, 1000, DefaultOptions()); len(res.Selected) != 0 || res.TotalGates != 0 {
+		t.Errorf("empty input produced %+v", res)
+	}
+	// Zero-area candidates must not divide by zero in step 3.
+	z := cand("z", 100, 10, 0)
+	if res := Partition([]*Candidate{z}, 1000, DefaultOptions()); res.TotalGates != 0 {
+		// Step 1 may admit it (area 0 always fits); either way no panic
+		// and no budget damage.
+		_ = res
+	}
+	if res, err := Exhaustive(nil, 10); err != nil || len(res.Selected) != 0 {
+		t.Errorf("exhaustive on empty input: %v %+v", err, res)
+	}
+}
+
+func TestStepAttribution(t *testing.T) {
+	cands := []*Candidate{
+		cand("hot", 9500, 500, 1000, "m"),
+		cand("affine", 200, 100, 1000, "m"),
+		cand("fill", 200, 100, 1000, "x"),
+	}
+	res := Partition(cands, 1<<30, DefaultOptions())
+	if res.Step["hot"] != 1 || res.Step["affine"] != 2 || res.Step["fill"] != 3 {
+		t.Errorf("step attribution = %v", res.Step)
+	}
+}

@@ -1,0 +1,147 @@
+// Package platform models the paper's hypothetical single-chip
+// microprocessor/FPGA platform: a MIPS core at a configurable clock next
+// to a Virtex-II fabric, with a communication cost per accelerator
+// invocation and an analytic power model. It turns partitioning results
+// into the metrics the paper reports: application speedup, kernel
+// speedup, and energy savings.
+package platform
+
+import (
+	"fmt"
+
+	"binpart/internal/fpga"
+)
+
+// Platform describes one microprocessor/FPGA configuration.
+type Platform struct {
+	Name   string
+	CPUMHz float64
+	Device fpga.Device
+
+	// CPUActiveW is the core's power while executing.
+	CPUActiveW float64
+	// CPUIdleFrac is the fraction of active power the core burns while
+	// stalled waiting for the FPGA.
+	CPUIdleFrac float64
+	// FPGAStaticW is the fabric's static power (drawn whenever the
+	// design is configured).
+	FPGAStaticW float64
+	// FPGADynWPerGateMHz scales dynamic fabric power with active logic
+	// and clock.
+	FPGADynWPerGateMHz float64
+	// CommCPUCycles is the per-invocation cost of starting the
+	// accelerator and exchanging arguments/results over the on-chip bus.
+	CommCPUCycles uint64
+}
+
+// cpuWattsPerMHz is the dynamic power density of the modeled MIPS core.
+const cpuWattsPerMHz = 2.5e-3
+
+// MIPS returns a platform with the given CPU clock and device, using the
+// power constants shared by all experiments.
+func MIPS(mhz float64, dev fpga.Device) Platform {
+	return Platform{
+		Name:               fmt.Sprintf("MIPS-%.0f/%s", mhz, dev.Name),
+		CPUMHz:             mhz,
+		Device:             dev,
+		CPUActiveW:         cpuWattsPerMHz * mhz,
+		CPUIdleFrac:        0.35,
+		FPGAStaticW:        0.08,
+		FPGADynWPerGateMHz: 9.0e-8,
+		CommCPUCycles:      60,
+	}
+}
+
+// The paper's three evaluation platforms (Virtex-II XC2V2000 fabric).
+func defaultDevice() fpga.Device {
+	d, _ := fpga.ByName("XC2V2000")
+	return d
+}
+
+// Standard platforms evaluated in the paper's results section.
+var (
+	MIPS40  = MIPS(40, defaultDevice())
+	MIPS200 = MIPS(200, defaultDevice())
+	MIPS400 = MIPS(400, defaultDevice())
+)
+
+// Region is one hardware-mapped region's contribution.
+type Region struct {
+	Name string
+	// SWCycles is the CPU cycles the region consumed in the all-software
+	// run.
+	SWCycles uint64
+	// HWCycles is the accelerator cycles for all executions.
+	HWCycles float64
+	// HWClockNs is the synthesized design's clock period.
+	HWClockNs float64
+	// Invocations is how many times the CPU starts the accelerator.
+	Invocations uint64
+	// AreaGates is the design's equivalent-gate area.
+	AreaGates int
+	// ActiveGates participates in dynamic power (== AreaGates here).
+	ActiveGates int
+}
+
+// HWSeconds is the region's total hardware execution time.
+func (r Region) HWSeconds() float64 { return r.HWCycles * r.HWClockNs * 1e-9 }
+
+// Metrics aggregates a partitioned application's evaluation.
+type Metrics struct {
+	SWTimeS       float64
+	HWSWTimeS     float64
+	AppSpeedup    float64
+	KernelSpeedup float64
+	EnergySWJ     float64
+	EnergyHWSWJ   float64
+	// EnergySavings is 1 - EnergyHWSW/EnergySW (the paper's "%" metric).
+	EnergySavings float64
+	AreaGates     int
+}
+
+// Evaluate computes the metrics for an application whose all-software run
+// took totalSWCycles on this platform's CPU, with the given regions moved
+// to hardware.
+func (p Platform) Evaluate(totalSWCycles uint64, regions []Region) Metrics {
+	cpuHz := p.CPUMHz * 1e6
+	swTime := float64(totalSWCycles) / cpuHz
+
+	var kernelSW, kernelHW float64
+	var area int
+	var fpgaDynE float64
+	for _, r := range regions {
+		kernelSW += float64(r.SWCycles) / cpuHz
+		t := r.HWSeconds() + float64(r.Invocations*p.CommCPUCycles)/cpuHz
+		kernelHW += t
+		area += r.AreaGates
+		mhz := fpga.MHz(r.HWClockNs)
+		fpgaDynE += p.FPGADynWPerGateMHz * float64(r.ActiveGates) * mhz * r.HWSeconds()
+	}
+	hwswTime := swTime - kernelSW + kernelHW
+
+	m := Metrics{
+		SWTimeS:   swTime,
+		HWSWTimeS: hwswTime,
+		AreaGates: area,
+	}
+	if hwswTime > 0 {
+		m.AppSpeedup = swTime / hwswTime
+	}
+	if kernelHW > 0 {
+		m.KernelSpeedup = kernelSW / kernelHW
+	}
+
+	// Energy. Software-only: CPU active the whole run. Partitioned: CPU
+	// active for the software residue, idling while the FPGA runs. The
+	// fabric is power-gated when inactive (the standard assumption for
+	// this platform class), so both its static and dynamic power apply
+	// only during hardware execution.
+	m.EnergySWJ = p.CPUActiveW * swTime
+	cpuE := p.CPUActiveW*(swTime-kernelSW) + p.CPUActiveW*p.CPUIdleFrac*kernelHW
+	fpgaE := p.FPGAStaticW*kernelHW + fpgaDynE
+	m.EnergyHWSWJ = cpuE + fpgaE
+	if m.EnergySWJ > 0 {
+		m.EnergySavings = 1 - m.EnergyHWSWJ/m.EnergySWJ
+	}
+	return m
+}

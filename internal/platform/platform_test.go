@@ -1,0 +1,110 @@
+package platform
+
+import (
+	"testing"
+
+	"binpart/internal/fpga"
+)
+
+func sampleRegion() Region {
+	return Region{
+		Name:        "kernel",
+		SWCycles:    9_000_000,
+		HWCycles:    150_000,
+		HWClockNs:   8,
+		Invocations: 1,
+		AreaGates:   20000,
+		ActiveGates: 20000,
+	}
+}
+
+func TestEvaluateBasicShape(t *testing.T) {
+	m := MIPS200.Evaluate(10_000_000, []Region{sampleRegion()})
+	if m.AppSpeedup <= 1 {
+		t.Errorf("app speedup %.2f, want > 1", m.AppSpeedup)
+	}
+	if m.KernelSpeedup <= m.AppSpeedup {
+		t.Errorf("kernel speedup (%.1f) should exceed app speedup (%.1f) by Amdahl",
+			m.KernelSpeedup, m.AppSpeedup)
+	}
+	if m.EnergySavings <= 0 || m.EnergySavings >= 1 {
+		t.Errorf("energy savings %.2f outside (0,1)", m.EnergySavings)
+	}
+	if m.HWSWTimeS >= m.SWTimeS {
+		t.Error("partitioned time not below software time")
+	}
+}
+
+func TestSlowerCPUGainsMore(t *testing.T) {
+	// The same hardware helps a slow CPU more: speedup(40) > speedup(200)
+	// > speedup(400), and energy savings order matches (the paper's
+	// platform sweep shape).
+	r := sampleRegion()
+	// Cycle counts are CPU-frequency independent in this model.
+	m40 := MIPS40.Evaluate(10_000_000, []Region{r})
+	m200 := MIPS200.Evaluate(10_000_000, []Region{r})
+	m400 := MIPS400.Evaluate(10_000_000, []Region{r})
+	if !(m40.AppSpeedup > m200.AppSpeedup && m200.AppSpeedup > m400.AppSpeedup) {
+		t.Errorf("speedups not decreasing with CPU clock: %.2f, %.2f, %.2f",
+			m40.AppSpeedup, m200.AppSpeedup, m400.AppSpeedup)
+	}
+	if !(m40.EnergySavings > m200.EnergySavings && m200.EnergySavings > m400.EnergySavings) {
+		t.Errorf("savings not decreasing with CPU clock: %.2f, %.2f, %.2f",
+			m40.EnergySavings, m200.EnergySavings, m400.EnergySavings)
+	}
+}
+
+func TestNoRegionsMeansNoChange(t *testing.T) {
+	m := MIPS200.Evaluate(5_000_000, nil)
+	if m.AppSpeedup != 1 {
+		t.Errorf("speedup with empty partition = %v, want 1", m.AppSpeedup)
+	}
+	if m.HWSWTimeS != m.SWTimeS {
+		t.Error("time changed with empty partition")
+	}
+	// FPGA static power still makes the "partitioned" system cost a bit
+	// more energy, so savings must be <= 0.
+	if m.EnergySavings > 0 {
+		t.Errorf("positive savings (%v) with no hardware regions", m.EnergySavings)
+	}
+}
+
+func TestCommunicationOverheadHurts(t *testing.T) {
+	few := sampleRegion()
+	few.Invocations = 1
+	many := sampleRegion()
+	many.Invocations = 100_000
+	mFew := MIPS200.Evaluate(10_000_000, []Region{few})
+	mMany := MIPS200.Evaluate(10_000_000, []Region{many})
+	if mMany.AppSpeedup >= mFew.AppSpeedup {
+		t.Errorf("invocation overhead did not reduce speedup: %.2f vs %.2f",
+			mMany.AppSpeedup, mFew.AppSpeedup)
+	}
+}
+
+func TestCPUPowerScalesWithClock(t *testing.T) {
+	if MIPS400.CPUActiveW <= MIPS200.CPUActiveW || MIPS200.CPUActiveW <= MIPS40.CPUActiveW {
+		t.Error("CPU power not increasing with clock")
+	}
+}
+
+func TestMIPSConstructor(t *testing.T) {
+	dev, err := fpga.ByName("XC2V500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MIPS(100, dev)
+	if p.CPUMHz != 100 || p.Device.Name != "XC2V500" {
+		t.Errorf("MIPS() = %+v", p)
+	}
+	if p.Name == "" {
+		t.Error("empty platform name")
+	}
+}
+
+func TestHWSeconds(t *testing.T) {
+	r := Region{HWCycles: 1000, HWClockNs: 10}
+	if got := r.HWSeconds(); got != 1e-5 {
+		t.Errorf("HWSeconds = %v, want 1e-5", got)
+	}
+}

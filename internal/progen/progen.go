@@ -1,0 +1,231 @@
+// Package progen generates random MicroC programs for differential
+// testing. Programs are deterministic and defined for every input: loops
+// have constant bounds, array indexes are masked to the array size, and
+// division by zero / shift overflow have the same defined semantics in
+// the compiler, the simulator, and the IR interpreter.
+//
+// Generated programs follow the kernel convention used across the
+// repository: a call-free `kernel` function holding all loops, and a
+// `main` that calls it once and returns its checksum. That makes the same
+// program usable for three oracles: cross-optimization-level output
+// equality, simulator-vs-IR-interpreter equality after decompilation, and
+// decompiler-pass semantic preservation.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Program is one generated test case.
+type Program struct {
+	Source string
+	Seed   int64
+}
+
+// Config bounds the generator.
+type Config struct {
+	// MaxStmts bounds the kernel's statement count per block.
+	MaxStmts int
+	// MaxDepth bounds expression nesting.
+	MaxDepth int
+	// MaxLoops bounds loop count (each with constant trip count).
+	MaxLoops int
+	// Arrays enables global array access.
+	Arrays bool
+	// UnrollFriendly biases loop bounds to multiples of four so the -O3
+	// unroller and the decompiler's reroller both fire.
+	UnrollFriendly bool
+	// Switches sprinkles dense switch statements into loop bodies so the
+	// compiler emits jump tables (exercising indirect-jump recovery).
+	Switches bool
+}
+
+// DefaultConfig returns moderate bounds.
+func DefaultConfig() Config {
+	return Config{MaxStmts: 6, MaxDepth: 3, MaxLoops: 3, Arrays: true}
+}
+
+type gen struct {
+	r      *rand.Rand
+	cfg    Config
+	sb     strings.Builder
+	scals  []string // scalar local names in scope
+	loopN  int
+	indent string
+}
+
+// Generate produces a random program from the seed.
+func Generate(seed int64, cfg Config) Program {
+	g := &gen{r: rand.New(rand.NewSource(seed)), cfg: cfg}
+	g.emit()
+	return Program{Source: g.sb.String(), Seed: seed}
+}
+
+func (g *gen) pf(format string, args ...any) {
+	fmt.Fprintf(&g.sb, "%s", g.indent)
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteString("\n")
+}
+
+func (g *gen) emit() {
+	// Globals: two power-of-two arrays with deterministic initializers.
+	if g.cfg.Arrays {
+		g.pf("int ga[16] = {%s};", g.initList(16))
+		g.pf("int gb[8] = {%s};", g.initList(8))
+	}
+	g.pf("int kernel(int n) {")
+	g.indent = "\t"
+	// Scalar pool.
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("v%d", i)
+		g.pf("int %s = %d;", name, g.r.Intn(200)-100)
+		g.scals = append(g.scals, name)
+	}
+	g.scals = append(g.scals, "n")
+	g.block(g.cfg.MaxLoops)
+	g.pf("return %s;", g.checksum())
+	g.indent = ""
+	g.pf("}")
+	g.pf("int main() { return kernel(%d); }", g.r.Intn(100)+1)
+}
+
+func (g *gen) initList(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("%d", g.r.Intn(512)-256)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (g *gen) checksum() string {
+	parts := make([]string, 0, len(g.scals))
+	for _, v := range g.scals {
+		if v == "n" {
+			continue
+		}
+		parts = append(parts, v)
+	}
+	return "(" + strings.Join(parts, " + ") + ") & 0xffff"
+}
+
+// block emits up to MaxStmts statements, spending at most loops loop
+// budget.
+func (g *gen) block(loops int) {
+	n := 1 + g.r.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(loops)
+	}
+}
+
+func (g *gen) stmt(loops int) {
+	switch k := g.r.Intn(10); {
+	case k < 3: // plain assignment
+		g.pf("%s = %s;", g.scalar(), g.expr(g.cfg.MaxDepth))
+	case k < 5: // compound assignment
+		ops := []string{"+=", "-=", "^=", "|=", "&="}
+		g.pf("%s %s %s;", g.scalar(), ops[g.r.Intn(len(ops))], g.expr(g.cfg.MaxDepth-1))
+	case k == 5 && g.cfg.Switches:
+		// Dense switch: at least 4 consecutive cases forces a jump table.
+		tgt := g.scalar()
+		g.pf("switch ((%s) & 7) {", g.expr(1))
+		for c := 0; c < 6; c++ {
+			g.pf("case %d: %s = %s; break;", c, tgt, g.expr(1))
+		}
+		g.pf("default: %s = %s; break;", tgt, g.expr(1))
+		g.pf("}")
+	case k < 7 && g.cfg.Arrays: // array store
+		g.pf("ga[(%s) & 15] = %s;", g.expr(1), g.expr(g.cfg.MaxDepth-1))
+	case k < 8: // if/else
+		g.pf("if (%s %s %s) {", g.scalar(), g.relop(), g.expr(1))
+		saved := g.indent
+		g.indent += "\t"
+		g.pf("%s = %s;", g.scalar(), g.expr(g.cfg.MaxDepth-1))
+		g.indent = saved
+		if g.r.Intn(2) == 0 {
+			g.pf("} else {")
+			g.indent += "\t"
+			g.pf("%s = %s;", g.scalar(), g.expr(g.cfg.MaxDepth-1))
+			g.indent = saved
+		}
+		g.pf("}")
+	case loops > 0: // counted loop
+		iv := fmt.Sprintf("i%d", g.loopN)
+		g.loopN++
+		bound := 2 + g.r.Intn(14)
+		if g.cfg.UnrollFriendly {
+			bound = 4 * (1 + g.r.Intn(4))
+		}
+		g.pf("int %s;", iv)
+		g.pf("for (%s = 0; %s < %d; %s++) {", iv, iv, bound, iv)
+		saved := g.indent
+		g.indent += "\t"
+		g.scals = append(g.scals, iv)
+		inner := 1 + g.r.Intn(3)
+		for j := 0; j < inner; j++ {
+			g.stmt(loops - 1)
+		}
+		g.scals = g.scals[:len(g.scals)-1]
+		g.indent = saved
+		g.pf("}")
+	default:
+		g.pf("%s = %s;", g.scalar(), g.expr(g.cfg.MaxDepth))
+	}
+}
+
+func (g *gen) scalar() string {
+	// Never assign to n or a live loop variable (loop vars sit at the
+	// tail of scals; exclude the last entry while inside a loop to keep
+	// trip counts constant). Assigning the outermost 4 names is enough.
+	return g.scals[g.r.Intn(4)]
+}
+
+func (g *gen) relop() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	return ops[g.r.Intn(len(ops))]
+}
+
+func (g *gen) expr(depth int) string {
+	if depth <= 0 {
+		return g.leaf()
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return g.leaf()
+	case 1:
+		// The space keeps "-(-x)" from lexing as a "--" decrement.
+		return fmt.Sprintf("(- %s)", g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(~%s)", g.expr(depth-1))
+	case 3:
+		if g.cfg.Arrays {
+			return fmt.Sprintf("ga[(%s) & 15]", g.expr(depth-1))
+		}
+		return g.leaf()
+	case 4:
+		if g.cfg.Arrays {
+			return fmt.Sprintf("gb[(%s) & 7]", g.expr(depth-1))
+		}
+		return g.leaf()
+	case 5:
+		// Shift by a masked amount keeps semantics identical everywhere.
+		dirs := []string{"<<", ">>"}
+		return fmt.Sprintf("(%s %s ((%s) & 15))", g.expr(depth-1), dirs[g.r.Intn(2)], g.leaf())
+	case 6:
+		// Multiplication by a small constant exercises strength
+		// reduction and promotion.
+		return fmt.Sprintf("(%s * %d)", g.expr(depth-1), g.r.Intn(21))
+	default:
+		ops := []string{"+", "-", "&", "|", "^"}
+		return fmt.Sprintf("(%s %s %s)",
+			g.expr(depth-1), ops[g.r.Intn(len(ops))], g.expr(depth-1))
+	}
+}
+
+func (g *gen) leaf() string {
+	if g.r.Intn(3) == 0 {
+		return fmt.Sprintf("%d", g.r.Intn(256)-128)
+	}
+	return g.scals[g.r.Intn(len(g.scals))]
+}

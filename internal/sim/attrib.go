@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"binpart/internal/binimg"
+	"binpart/internal/mips"
+)
+
+// AttributeCycles converts an execution profile into per-address cycle
+// counts under the cycle model: each instruction's executions multiplied
+// by its class cost, with branches split between taken and not-taken
+// using the recorded edge counts. The partitioner uses this to know how
+// many CPU cycles each loop consumed.
+func AttributeCycles(img *binimg.Image, prof *Profile, cm CycleModel) map[uint32]uint64 {
+	if cm == (CycleModel{}) {
+		cm = DefaultCycleModel
+	}
+	out := make(map[uint32]uint64, len(prof.InstCount))
+	takenFrom := make(map[uint32]uint64)
+	for e, n := range prof.EdgeCount {
+		takenFrom[e.From] += n
+	}
+	for pc, count := range prof.InstCount {
+		w, err := img.WordAt(pc)
+		if err != nil {
+			continue
+		}
+		in, err := mips.Decode(w)
+		if err != nil {
+			continue
+		}
+		var cycles uint64
+		switch {
+		case in.IsBranch():
+			taken := takenFrom[pc]
+			if taken > count {
+				taken = count
+			}
+			cycles = taken*cm.BranchTaken + (count-taken)*cm.BranchNot
+		case in.IsJump():
+			cycles = count * cm.Jump
+		case in.IsLoad():
+			cycles = count * cm.Load
+		case in.IsStore():
+			cycles = count * cm.Store
+		case in.Op == mips.MULT || in.Op == mips.MULTU:
+			cycles = count * cm.Mult
+		case in.Op == mips.DIV || in.Op == mips.DIVU:
+			cycles = count * cm.Div
+		default:
+			cycles = count * cm.ALU
+		}
+		out[pc] = cycles
+	}
+	return out
+}

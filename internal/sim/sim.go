@@ -1,0 +1,456 @@
+// Package sim implements a functional MIPS simulator with a cycle model
+// and an execution profiler. It stands in for the hypothetical-platform
+// simulation infrastructure of the reproduced paper: software execution
+// times come from instruction counts weighted by a published-CPI-style
+// cost model, and the profiler's per-address and per-edge counts drive the
+// partitioner's "most frequent loops" step.
+package sim
+
+import (
+	"fmt"
+
+	"binpart/internal/binimg"
+	"binpart/internal/mips"
+)
+
+// CycleModel gives the cost in CPU cycles of each instruction class,
+// loosely following an R3000-class integer pipeline.
+type CycleModel struct {
+	ALU         uint64
+	Load        uint64
+	Store       uint64
+	BranchTaken uint64
+	BranchNot   uint64
+	Jump        uint64
+	Mult        uint64
+	Div         uint64
+}
+
+// DefaultCycleModel is the model used throughout the experiments.
+var DefaultCycleModel = CycleModel{
+	ALU:         1,
+	Load:        2,
+	Store:       1,
+	BranchTaken: 2,
+	BranchNot:   1,
+	Jump:        2,
+	Mult:        10,
+	Div:         35,
+}
+
+// Config controls a simulation run.
+type Config struct {
+	StackTop uint32
+	MaxSteps uint64
+	Cycles   CycleModel
+	Profile  bool
+}
+
+// DefaultConfig returns a Config suitable for the benchmark suite.
+func DefaultConfig() Config {
+	return Config{
+		StackTop: binimg.DefaultStackTop,
+		MaxSteps: 500_000_000,
+		Cycles:   DefaultCycleModel,
+		Profile:  false,
+	}
+}
+
+// Profile holds execution counts gathered during a run.
+type Profile struct {
+	// InstCount maps instruction address to execution count.
+	InstCount map[uint32]uint64
+	// EdgeCount maps taken control-flow edges (branches and jumps only)
+	// to counts; fallthroughs are not recorded.
+	EdgeCount map[Edge]uint64
+}
+
+// Edge is one control transfer from From to To (byte addresses).
+type Edge struct{ From, To uint32 }
+
+// Result summarizes a completed run.
+type Result struct {
+	Steps    uint64 // instructions executed
+	Cycles   uint64 // modeled CPU cycles
+	ExitCode int32  // $v0 at the halting BREAK
+	Profile  *Profile
+}
+
+// Machine is a MIPS machine instance. Create with New, execute with Run.
+type Machine struct {
+	cfg   Config
+	img   *binimg.Image
+	code  []mips.Inst // pre-decoded text
+	Regs  [32]uint32
+	HI    uint32
+	LO    uint32
+	PC    uint32
+	pages map[uint32][]byte
+	prof  *Profile
+}
+
+const pageBits = 12
+
+// New loads an image into a fresh machine.
+func New(img *binimg.Image, cfg Config) (*Machine, error) {
+	m := &Machine{cfg: cfg, img: img, pages: make(map[uint32][]byte)}
+	m.code = make([]mips.Inst, len(img.Text))
+	for i, w := range img.Text {
+		in, err := mips.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("sim: text word %d: %w", i, err)
+		}
+		m.code[i] = in
+	}
+	for i, b := range img.Data {
+		m.storeByte(img.DataBase+uint32(i), b)
+	}
+	m.PC = img.Entry
+	m.Regs[mips.SP] = cfg.StackTop
+	if cfg.Profile {
+		m.prof = &Profile{
+			InstCount: make(map[uint32]uint64),
+			EdgeCount: make(map[Edge]uint64),
+		}
+	}
+	return m, nil
+}
+
+func (m *Machine) page(addr uint32) []byte {
+	pn := addr >> pageBits
+	p, ok := m.pages[pn]
+	if !ok {
+		p = make([]byte, 1<<pageBits)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+func (m *Machine) storeByte(addr uint32, b byte) {
+	m.page(addr)[addr&(1<<pageBits-1)] = b
+}
+
+func (m *Machine) loadByte(addr uint32) byte {
+	return m.page(addr)[addr&(1<<pageBits-1)]
+}
+
+// ReadWord returns the 32-bit little-endian word at addr (for tests and
+// result extraction).
+func (m *Machine) ReadWord(addr uint32) uint32 {
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		v |= uint32(m.loadByte(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// WriteWord stores a 32-bit little-endian word at addr.
+func (m *Machine) WriteWord(addr uint32, v uint32) {
+	for i := uint32(0); i < 4; i++ {
+		m.storeByte(addr+i, byte(v>>(8*i)))
+	}
+}
+
+func (m *Machine) load(addr uint32, width int) (uint32, error) {
+	if addr < 0x1000 {
+		return 0, fmt.Errorf("sim: load from near-null address 0x%x", addr)
+	}
+	if uint32(width) > 1 && addr%uint32(width) != 0 {
+		return 0, fmt.Errorf("sim: misaligned %d-byte load at 0x%x", width, addr)
+	}
+	var v uint32
+	for i := 0; i < width; i++ {
+		v |= uint32(m.loadByte(addr+uint32(i))) << (8 * i)
+	}
+	return v, nil
+}
+
+func (m *Machine) store(addr uint32, v uint32, width int) error {
+	if addr < 0x1000 {
+		return fmt.Errorf("sim: store to near-null address 0x%x", addr)
+	}
+	if uint32(width) > 1 && addr%uint32(width) != 0 {
+		return fmt.Errorf("sim: misaligned %d-byte store at 0x%x", width, addr)
+	}
+	if m.img.InText(addr) {
+		return fmt.Errorf("sim: store into text section at 0x%x", addr)
+	}
+	for i := 0; i < width; i++ {
+		m.storeByte(addr+uint32(i), byte(v>>(8*i)))
+	}
+	return nil
+}
+
+// Run executes until BREAK, an error, or the step limit.
+func (m *Machine) Run() (Result, error) {
+	var res Result
+	maxSteps := m.cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultConfig().MaxSteps
+	}
+	cm := m.cfg.Cycles
+	if cm == (CycleModel{}) {
+		cm = DefaultCycleModel
+	}
+	for res.Steps < maxSteps {
+		if !m.img.InText(m.PC) || m.PC%4 != 0 {
+			return res, fmt.Errorf("sim: PC 0x%x outside text", m.PC)
+		}
+		idx := (m.PC - m.img.TextBase) / 4
+		in := m.code[idx]
+		if m.prof != nil {
+			m.prof.InstCount[m.PC]++
+		}
+		res.Steps++
+
+		next := m.PC + 4
+		taken := uint32(0)
+		hasTarget := false
+
+		rs := m.Regs[in.Rs]
+		rt := m.Regs[in.Rt]
+		setRd := func(v uint32) {
+			if in.Rd != 0 {
+				m.Regs[in.Rd] = v
+			}
+		}
+		setRt := func(v uint32) {
+			if in.Rt != 0 {
+				m.Regs[in.Rt] = v
+			}
+		}
+
+		switch in.Op {
+		case mips.NOP:
+			res.Cycles += cm.ALU
+		case mips.BREAK:
+			res.Cycles += cm.ALU
+			res.ExitCode = int32(m.Regs[mips.V0])
+			res.Profile = m.prof
+			return res, nil
+		case mips.ADD, mips.ADDU:
+			setRd(rs + rt)
+			res.Cycles += cm.ALU
+		case mips.SUB, mips.SUBU:
+			setRd(rs - rt)
+			res.Cycles += cm.ALU
+		case mips.AND:
+			setRd(rs & rt)
+			res.Cycles += cm.ALU
+		case mips.OR:
+			setRd(rs | rt)
+			res.Cycles += cm.ALU
+		case mips.XOR:
+			setRd(rs ^ rt)
+			res.Cycles += cm.ALU
+		case mips.NOR:
+			setRd(^(rs | rt))
+			res.Cycles += cm.ALU
+		case mips.SLT:
+			setRd(b2u(int32(rs) < int32(rt)))
+			res.Cycles += cm.ALU
+		case mips.SLTU:
+			setRd(b2u(rs < rt))
+			res.Cycles += cm.ALU
+		case mips.SLL:
+			setRd(rt << uint32(in.Imm))
+			res.Cycles += cm.ALU
+		case mips.SRL:
+			setRd(rt >> uint32(in.Imm))
+			res.Cycles += cm.ALU
+		case mips.SRA:
+			setRd(uint32(int32(rt) >> uint32(in.Imm)))
+			res.Cycles += cm.ALU
+		case mips.SLLV:
+			setRd(rt << (rs & 31))
+			res.Cycles += cm.ALU
+		case mips.SRLV:
+			setRd(rt >> (rs & 31))
+			res.Cycles += cm.ALU
+		case mips.SRAV:
+			setRd(uint32(int32(rt) >> (rs & 31)))
+			res.Cycles += cm.ALU
+		case mips.MULT:
+			p := int64(int32(rs)) * int64(int32(rt))
+			m.LO, m.HI = uint32(p), uint32(uint64(p)>>32)
+			res.Cycles += cm.Mult
+		case mips.MULTU:
+			p := uint64(rs) * uint64(rt)
+			m.LO, m.HI = uint32(p), uint32(p>>32)
+			res.Cycles += cm.Mult
+		case mips.DIV:
+			if rt == 0 {
+				m.LO, m.HI = 0, rs // architecturally undefined; pick stable values
+			} else if int32(rs) == -1<<31 && int32(rt) == -1 {
+				m.LO, m.HI = rs, 0
+			} else {
+				m.LO = uint32(int32(rs) / int32(rt))
+				m.HI = uint32(int32(rs) % int32(rt))
+			}
+			res.Cycles += cm.Div
+		case mips.DIVU:
+			if rt == 0 {
+				m.LO, m.HI = 0, rs
+			} else {
+				m.LO, m.HI = rs/rt, rs%rt
+			}
+			res.Cycles += cm.Div
+		case mips.MFHI:
+			setRd(m.HI)
+			res.Cycles += cm.ALU
+		case mips.MFLO:
+			setRd(m.LO)
+			res.Cycles += cm.ALU
+		case mips.MTHI:
+			m.HI = rs
+			res.Cycles += cm.ALU
+		case mips.MTLO:
+			m.LO = rs
+			res.Cycles += cm.ALU
+		case mips.ADDI, mips.ADDIU:
+			setRt(rs + uint32(in.Imm))
+			res.Cycles += cm.ALU
+		case mips.SLTI:
+			setRt(b2u(int32(rs) < in.Imm))
+			res.Cycles += cm.ALU
+		case mips.SLTIU:
+			setRt(b2u(rs < uint32(in.Imm)))
+			res.Cycles += cm.ALU
+		case mips.ANDI:
+			setRt(rs & uint32(uint16(in.Imm)))
+			res.Cycles += cm.ALU
+		case mips.ORI:
+			setRt(rs | uint32(uint16(in.Imm)))
+			res.Cycles += cm.ALU
+		case mips.XORI:
+			setRt(rs ^ uint32(uint16(in.Imm)))
+			res.Cycles += cm.ALU
+		case mips.LUI:
+			setRt(uint32(in.Imm) << 16)
+			res.Cycles += cm.ALU
+		case mips.LB:
+			v, err := m.load(rs+uint32(in.Imm), 1)
+			if err != nil {
+				return res, err
+			}
+			setRt(uint32(int32(int8(v))))
+			res.Cycles += cm.Load
+		case mips.LBU:
+			v, err := m.load(rs+uint32(in.Imm), 1)
+			if err != nil {
+				return res, err
+			}
+			setRt(v)
+			res.Cycles += cm.Load
+		case mips.LH:
+			v, err := m.load(rs+uint32(in.Imm), 2)
+			if err != nil {
+				return res, err
+			}
+			setRt(uint32(int32(int16(v))))
+			res.Cycles += cm.Load
+		case mips.LHU:
+			v, err := m.load(rs+uint32(in.Imm), 2)
+			if err != nil {
+				return res, err
+			}
+			setRt(v)
+			res.Cycles += cm.Load
+		case mips.LW:
+			v, err := m.load(rs+uint32(in.Imm), 4)
+			if err != nil {
+				return res, err
+			}
+			setRt(v)
+			res.Cycles += cm.Load
+		case mips.SB:
+			if err := m.store(rs+uint32(in.Imm), rt, 1); err != nil {
+				return res, err
+			}
+			res.Cycles += cm.Store
+		case mips.SH:
+			if err := m.store(rs+uint32(in.Imm), rt, 2); err != nil {
+				return res, err
+			}
+			res.Cycles += cm.Store
+		case mips.SW:
+			if err := m.store(rs+uint32(in.Imm), rt, 4); err != nil {
+				return res, err
+			}
+			res.Cycles += cm.Store
+		case mips.BEQ:
+			if rs == rt {
+				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
+			}
+		case mips.BNE:
+			if rs != rt {
+				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
+			}
+		case mips.BLEZ:
+			if int32(rs) <= 0 {
+				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
+			}
+		case mips.BGTZ:
+			if int32(rs) > 0 {
+				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
+			}
+		case mips.BLTZ:
+			if int32(rs) < 0 {
+				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
+			}
+		case mips.BGEZ:
+			if int32(rs) >= 0 {
+				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
+			}
+		case mips.J:
+			taken, hasTarget = in.Target, true
+			res.Cycles += cm.Jump
+		case mips.JAL:
+			m.Regs[mips.RA] = m.PC + 4
+			taken, hasTarget = in.Target, true
+			res.Cycles += cm.Jump
+		case mips.JR:
+			taken, hasTarget = rs, true
+			res.Cycles += cm.Jump
+		case mips.JALR:
+			setRd(m.PC + 4)
+			taken, hasTarget = rs, true
+			res.Cycles += cm.Jump
+		default:
+			return res, fmt.Errorf("sim: unimplemented op %v at 0x%x", in.Op, m.PC)
+		}
+
+		if in.IsBranch() {
+			if hasTarget {
+				res.Cycles += cm.BranchTaken
+			} else {
+				res.Cycles += cm.BranchNot
+			}
+		}
+		if hasTarget {
+			if m.prof != nil {
+				m.prof.EdgeCount[Edge{From: m.PC, To: taken}]++
+			}
+			m.PC = taken
+		} else {
+			m.PC = next
+		}
+	}
+	return res, fmt.Errorf("sim: step limit (%d) exceeded at PC 0x%x", maxSteps, m.PC)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Execute is a convenience wrapper: load img and run with cfg.
+func Execute(img *binimg.Image, cfg Config) (Result, error) {
+	m, err := New(img, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run()
+}

@@ -1,0 +1,314 @@
+package vhdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Check performs a structural validation of VHDL text: construct nesting
+// (entity/architecture/process/case/if), matched entity names, balanced
+// parentheses, and declaration-before-use of signals and variables. It is
+// this repository's stand-in for feeding the RTL to a synthesis front end
+// and is deliberately strict about the constructs Emit generates.
+func Check(src string) error {
+	toks := tokenize(src)
+	if len(toks) == 0 {
+		return fmt.Errorf("vhdl: empty source")
+	}
+
+	declared := map[string]bool{}
+	// Predeclared standard names and the types/functions we use.
+	for _, n := range []string{
+		"std_logic", "std_logic_vector", "signed", "unsigned", "integer",
+		"to_signed", "to_integer", "resize", "shift_left", "shift_right",
+		"rising_edge", "ieee", "std_logic_1164", "numeric_std", "all",
+		"work", "state_t", "true", "false",
+	} {
+		declared[n] = true
+	}
+
+	type frame struct {
+		kind string // entity, architecture, process, case, if, port
+		name string
+	}
+	var stack []frame
+	push := func(kind, name string) { stack = append(stack, frame{kind, name}) }
+	pop := func(kind string) error {
+		if len(stack) == 0 {
+			return fmt.Errorf("vhdl: 'end %s' with no open construct", kind)
+		}
+		top := stack[len(stack)-1]
+		if kind != "" && top.kind != kind {
+			return fmt.Errorf("vhdl: 'end %s' closes open %q", kind, top.kind)
+		}
+		stack = stack[:len(stack)-1]
+		return nil
+	}
+
+	parens := 0
+	entityName := ""
+	var used []string
+
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch t {
+		case "(":
+			parens++
+		case ")":
+			parens--
+			if parens < 0 {
+				return fmt.Errorf("vhdl: unbalanced ')'")
+			}
+		case "entity":
+			// "entity X is" opens a declaration; "entity work.X" is an
+			// instantiation reference (the target lives in another file).
+			if i+2 < len(toks) && toks[i+2] == "is" {
+				entityName = toks[i+1]
+				declared[entityName] = true
+				push("entity", entityName)
+				i += 2
+			} else if i+3 < len(toks) && toks[i+1] == "work" && toks[i+2] == "." {
+				i += 3 // skip the cross-file entity name
+			}
+		case "architecture":
+			// architecture rtl of X is
+			if i+4 < len(toks) && toks[i+2] == "of" && toks[i+4] == "is" {
+				if toks[i+3] != entityName {
+					return fmt.Errorf("vhdl: architecture of %q but entity is %q", toks[i+3], entityName)
+				}
+				declared[toks[i+1]] = true
+				push("architecture", toks[i+1])
+				i += 4
+			}
+		case "process":
+			// Either "process (...)" opening or part of "end process".
+			if i > 0 && toks[i-1] == "end" {
+				continue
+			}
+			push("process", "")
+		case "case":
+			if i > 0 && toks[i-1] == "end" {
+				continue
+			}
+			push("case", "")
+		case "if":
+			if i > 0 && toks[i-1] == "end" {
+				continue
+			}
+			// "elsif" is tokenized separately; a plain "if" opens.
+			push("if", "")
+		case "end":
+			if i+1 < len(toks) {
+				switch toks[i+1] {
+				case "process", "case", "if":
+					if err := pop(toks[i+1]); err != nil {
+						return err
+					}
+					i++
+					// Optional label after "end process".
+					if i+1 < len(toks) && isIdent(toks[i+1]) && toks[i+1] != "end" {
+						i++
+					}
+					continue
+				}
+				// "end rtl;" or "end <entity>;"
+				if isIdent(toks[i+1]) {
+					if err := pop(""); err != nil {
+						return err
+					}
+					i++
+					continue
+				}
+			}
+			if err := pop(""); err != nil {
+				return err
+			}
+		case "signal", "variable":
+			// signal NAME : type; / variable NAME : type;
+			if i+1 < len(toks) && isIdent(toks[i+1]) {
+				declared[toks[i+1]] = true
+				i++
+			}
+		case "type":
+			// type NAME is (A, B, ...);
+			if i+1 < len(toks) && isIdent(toks[i+1]) {
+				declared[toks[i+1]] = true
+				// Enumeration literals are declared too.
+				j := i + 2
+				for ; j < len(toks) && toks[j] != ";"; j++ {
+					if isIdent(toks[j]) && toks[j] != "is" {
+						declared[toks[j]] = true
+					}
+				}
+				i = j
+			}
+		case "port":
+			// "port map ( formal => actual, ... )": formals belong to the
+			// instantiated entity (another file); only actuals are local
+			// uses.
+			if i+1 < len(toks) && toks[i+1] == "map" {
+				j := i + 2
+				depth := 0
+				for ; j < len(toks); j++ {
+					switch toks[j] {
+					case "(":
+						depth++
+					case ")":
+						depth--
+					case "=>":
+						continue
+					default:
+						if depth >= 1 && isIdent(toks[j]) && !vhdlKeywords[toks[j]] {
+							// Count only actuals (tokens not directly
+							// followed by =>).
+							if j+1 < len(toks) && toks[j+1] != "=>" {
+								used = append(used, toks[j])
+							}
+						}
+					}
+					if depth == 0 && j > i+2 {
+						break
+					}
+				}
+				i = j
+				continue
+			}
+			// port ( name : dir type; ... )
+			j := i + 1
+			depth := 0
+			for ; j < len(toks); j++ {
+				if toks[j] == "(" {
+					depth++
+					if depth == 1 {
+						continue
+					}
+				}
+				if toks[j] == ")" {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+				if depth == 1 && isIdent(toks[j]) && j+1 < len(toks) && toks[j+1] == ":" {
+					declared[toks[j]] = true
+				}
+			}
+		default:
+			if isIdent(t) && !vhdlKeywords[t] {
+				// Process and instantiation labels are declarations.
+				if i+2 < len(toks) && toks[i+1] == ":" &&
+					(toks[i+2] == "process" || toks[i+2] == "entity") {
+					declared[t] = true
+					continue
+				}
+				used = append(used, t)
+			}
+		}
+	}
+	if parens != 0 {
+		return fmt.Errorf("vhdl: unbalanced parentheses (%+d)", parens)
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("vhdl: unclosed %q", stack[len(stack)-1].kind)
+	}
+	for _, u := range used {
+		if !declared[u] && !isNumber(u) {
+			return fmt.Errorf("vhdl: identifier %q used but never declared", u)
+		}
+	}
+	return nil
+}
+
+var vhdlKeywords = map[string]bool{
+	"library": true, "use": true, "entity": true, "is": true, "port": true,
+	"in": true, "out": true, "inout": true, "end": true, "architecture": true,
+	"of": true, "begin": true, "signal": true, "variable": true, "type": true,
+	"process": true, "if": true, "then": true, "else": true, "elsif": true,
+	"case": true, "when": true, "others": true, "and": true, "or": true,
+	"xor": true, "not": true, "nand": true, "nor": true, "rem": true,
+	"mod": true, "downto": true, "upto": true, "to": true, "array": true,
+	"constant": true, "rising": true, "falling": true, "null": true,
+	"map": true, "until": true, "for": true, "ns": true, "ps": true,
+	"wait": true, "report": true, "severity": true, "others_": true,
+}
+
+func tokenize(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case isIdentByte(c):
+			j := i
+			for j < len(src) && (isIdentByte(src[j]) || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, strings.ToLower(src[i:j]))
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case c == '\'':
+			// Character literal like '0' or '1'.
+			if i+2 < len(src) && src[i+2] == '\'' {
+				toks = append(toks, src[i:i+3])
+				i += 3
+			} else {
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			toks = append(toks, src[i:j+1])
+			i = j + 1
+		default:
+			// Multi-char operators we care about keep single tokens.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case ":=", "<=", ">=", "/=", "=>":
+				toks = append(toks, two)
+				i += 2
+			default:
+				toks = append(toks, string(c))
+				i++
+			}
+		}
+	}
+	return toks
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdent(s string) bool {
+	if s == "" || !isIdentByte(s[0]) {
+		return false
+	}
+	return true
+}
+
+func isNumber(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

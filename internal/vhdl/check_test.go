@@ -1,0 +1,115 @@
+package vhdl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTokenizer(t *testing.T) {
+	toks := tokenize(`entity e1 is -- comment gone
+		port (clk : in std_logic);
+	end e1;
+	x <= "0101"; y := '1'; z /= 2;`)
+	want := []string{
+		"entity", "e1", "is",
+		"port", "(", "clk", ":", "in", "std_logic", ")", ";",
+		"end", "e1", ";",
+		"x", "<=", `"0101"`, ";", "y", ":=", "'1'", ";", "z", "/=", "2", ";",
+	}
+	if !reflect.DeepEqual(toks, want) {
+		t.Errorf("tokenize mismatch:\n got %q\nwant %q", toks, want)
+	}
+}
+
+func TestTokenizerCaseFolding(t *testing.T) {
+	toks := tokenize("ENTITY Foo IS")
+	if toks[0] != "entity" || toks[1] != "foo" || toks[2] != "is" {
+		t.Errorf("identifiers not folded: %q", toks)
+	}
+}
+
+const minimalVHDL = `
+library ieee;
+use ieee.std_logic_1164.all;
+entity top is
+  port (
+    clk : in std_logic;
+    q   : out std_logic
+  );
+end top;
+architecture rtl of top is
+  signal s : std_logic;
+begin
+  p : process (clk)
+  begin
+    if rising_edge(clk) then
+      s <= '1';
+      q <= s;
+    end if;
+  end process p;
+end rtl;
+`
+
+func TestCheckAcceptsMinimal(t *testing.T) {
+	if err := Check(minimalVHDL); err != nil {
+		t.Errorf("minimal VHDL rejected: %v", err)
+	}
+}
+
+func TestCheckSpecificErrors(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(string) string
+		want   string
+	}{
+		"stray end": {
+			func(s string) string { return s + "\nend x;" },
+			"no open construct",
+		},
+		"mismatched construct": {
+			func(s string) string { return strings.Replace(s, "end process p;", "end case;", 1) },
+			"closes open",
+		},
+		"undeclared": {
+			func(s string) string { return strings.Replace(s, "s <= '1';", "s <= ghost;", 1) },
+			"never declared",
+		},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			err := Check(c.mutate(minimalVHDL))
+			if err == nil {
+				t.Fatal("corrupted VHDL accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCheckPortDeclarations(t *testing.T) {
+	// Every port name must count as declared inside the architecture.
+	if err := Check(minimalVHDL); err != nil {
+		t.Fatal(err)
+	}
+	// Removing the port declaration of q should surface as undeclared.
+	bad := strings.Replace(minimalVHDL, "q   : out std_logic\n", "", 1)
+	if err := Check(bad); err == nil {
+		t.Error("use of undeclared port accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"kernel_loop_0x400018": "kernel_loop_0x400018",
+		"weird name!":          "weird_name_",
+		"0starts_digit":        "dsn_0starts_digit",
+		"":                     "dsn_",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

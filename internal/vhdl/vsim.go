@@ -1,0 +1,922 @@
+package vhdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a simulator for the VHDL subset Emit generates:
+// one clocked FSMD process with variables, signal assignments, if/elsif
+// chains, a case over the state enum, and ieee.numeric_std arithmetic.
+// Together with the structural checker it closes the RTL verification
+// loop without an external toolchain: the generated text itself — not the
+// in-memory design — is parsed and executed, and differential tests
+// compare it against the IR interpreter.
+
+// SimConfig drives one simulation.
+type SimConfig struct {
+	// Arg0 is presented on the arg0 port while start is high.
+	Arg0 int32
+	// Mem holds the initial byte-addressed memory contents (the data
+	// section of the program the region came from).
+	Mem map[uint32]byte
+	// MaxCycles bounds the run (default 10M).
+	MaxCycles int
+}
+
+// SimResult is the outcome of a simulation.
+type SimResult struct {
+	// Result is the value on the result port when done rose.
+	Result int32
+	// Cycles is the number of clock cycles executed.
+	Cycles int
+	// Mem is the final memory state.
+	Mem map[uint32]byte
+}
+
+// ---------------------------------------------------------------------
+// Values.
+
+type vkind int
+
+const (
+	vNum vkind = iota
+	vBit
+	vEnum
+	vBool
+)
+
+type vval struct {
+	kind vkind
+	n    int64 // vNum (bit pattern, interpretation per uns) / vBit 0..1
+	uns  bool
+	s    string // vEnum literal
+}
+
+func num32(n int32) vval   { return vval{kind: vNum, n: int64(n)} }
+func unum32(n uint32) vval { return vval{kind: vNum, n: int64(n), uns: true} }
+
+// ---------------------------------------------------------------------
+// AST.
+
+type vexpr interface{}
+
+type (
+	vIdent struct{ name string }
+	vLit   struct{ n int64 }
+	vCharL struct{ b byte }
+	vBitsL struct{ s string }
+	vCall  struct {
+		name string
+		args []vexpr
+	}
+	vSlice struct {
+		x      vexpr
+		hi, lo int
+	}
+	vUnary struct {
+		op string
+		x  vexpr
+	}
+	vBin struct {
+		op   string
+		l, r vexpr
+	}
+)
+
+type vstmt interface{}
+
+type (
+	vAssign struct {
+		dst    string
+		signal bool // "<=" vs ":="
+		rhs    vexpr
+	}
+	vIf struct {
+		conds []vexpr   // if + elsif conditions
+		arms  [][]vstmt // matching bodies
+		els   []vstmt
+	}
+	vCase struct {
+		sel  string
+		arms map[string][]vstmt
+	}
+)
+
+// fsmdDesign is the parsed FSMD.
+type fsmdDesign struct {
+	signals []string
+	vars    []string
+	states  map[string]bool
+	body    []vstmt
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+
+type vparser struct {
+	toks []string
+	pos  int
+}
+
+func (p *vparser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *vparser) peekAt(k int) string {
+	if p.pos+k < len(p.toks) {
+		return p.toks[p.pos+k]
+	}
+	return ""
+}
+
+func (p *vparser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *vparser) expect(t string) error {
+	if p.peek() != t {
+		return fmt.Errorf("vhdl-sim: expected %q, found %q (pos %d)", t, p.peek(), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+// parseDesign extracts the state enum, signal/variable names, and the
+// process body from the generated architecture.
+func parseDesign(text string) (*fsmdDesign, error) {
+	p := &vparser{toks: tokenize(text)}
+	d := &fsmdDesign{states: map[string]bool{}}
+
+	// Scan to the architecture declarations.
+	for p.pos < len(p.toks) {
+		switch p.peek() {
+		case "type":
+			// type state_t is ( a, b, ... );
+			p.next()
+			p.next() // state_t
+			if err := p.expect("is"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			for p.peek() != ")" && p.pos < len(p.toks) {
+				if isIdent(p.peek()) {
+					d.states[p.peek()] = true
+				}
+				p.next()
+			}
+			p.next() // )
+		case "signal":
+			p.next()
+			d.signals = append(d.signals, p.next())
+		case "variable":
+			p.next()
+			d.vars = append(d.vars, p.next())
+		case "process":
+			// fsmd : process (clk) ... begin BODY end process fsmd;
+			p.next()
+			// Skip sensitivity list and variable decls up to "begin".
+			for p.peek() != "begin" && p.pos < len(p.toks) {
+				if p.peek() == "variable" {
+					p.next()
+					d.vars = append(d.vars, p.next())
+					continue
+				}
+				p.next()
+			}
+			if err := p.expect("begin"); err != nil {
+				return nil, err
+			}
+			body, err := p.stmts(map[string]bool{"end": true})
+			if err != nil {
+				return nil, err
+			}
+			d.body = body
+			return d, nil
+		default:
+			p.next()
+		}
+	}
+	return nil, fmt.Errorf("vhdl-sim: no process found")
+}
+
+// stmts parses statements until one of the stop keywords appears at the
+// statement position.
+func (p *vparser) stmts(stop map[string]bool) ([]vstmt, error) {
+	var out []vstmt
+	for p.pos < len(p.toks) {
+		t := p.peek()
+		if stop[t] {
+			return out, nil
+		}
+		switch t {
+		case "if":
+			s, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		case "case":
+			s, err := p.caseStmt()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		default:
+			if !isIdent(t) {
+				return nil, fmt.Errorf("vhdl-sim: unexpected token %q in statements", t)
+			}
+			dst := p.next()
+			op := p.next()
+			if op != "<=" && op != ":=" {
+				return nil, fmt.Errorf("vhdl-sim: expected assignment after %q, found %q", dst, op)
+			}
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			out = append(out, &vAssign{dst: dst, signal: op == "<=", rhs: rhs})
+		}
+	}
+	return out, nil
+}
+
+func (p *vparser) ifStmt() (vstmt, error) {
+	s := &vIf{}
+	if err := p.expect("if"); err != nil {
+		return nil, err
+	}
+	for {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("then"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmts(map[string]bool{"elsif": true, "else": true, "end": true})
+		if err != nil {
+			return nil, err
+		}
+		s.conds = append(s.conds, cond)
+		s.arms = append(s.arms, body)
+		if p.peek() != "elsif" {
+			break
+		}
+		p.next()
+	}
+	if p.peek() == "else" {
+		p.next()
+		els, err := p.stmts(map[string]bool{"end": true})
+		if err != nil {
+			return nil, err
+		}
+		s.els = els
+	}
+	if err := p.expect("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("if"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *vparser) caseStmt() (vstmt, error) {
+	if err := p.expect("case"); err != nil {
+		return nil, err
+	}
+	sel := p.next()
+	if err := p.expect("is"); err != nil {
+		return nil, err
+	}
+	s := &vCase{sel: sel, arms: map[string][]vstmt{}}
+	for p.peek() == "when" {
+		p.next()
+		label := p.next()
+		if err := p.expect("=>"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmts(map[string]bool{"when": true, "end": true})
+		if err != nil {
+			return nil, err
+		}
+		s.arms[label] = body
+	}
+	if err := p.expect("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("case"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Expressions: cmp over add over mul over unary over postfix/primary.
+
+func (p *vparser) expr() (vexpr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek() {
+	case "=", "/=", "<", "<=", ">", ">=":
+		op := p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &vBin{op: op, l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *vparser) addExpr() (vexpr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case "+", "-", "and", "or", "xor":
+			op := p.next()
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &vBin{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *vparser) mulExpr() (vexpr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case "*", "/", "rem":
+			op := p.next()
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &vBin{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *vparser) unaryExpr() (vexpr, error) {
+	if p.peek() == "-" {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &vUnary{op: "-", x: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *vparser) postfix() (vexpr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	// Optional slice: (hi downto lo).
+	for p.peek() == "(" && p.peekAt(2) == "downto" {
+		p.next()
+		hi, err := strconv.Atoi(p.next())
+		if err != nil {
+			return nil, fmt.Errorf("vhdl-sim: bad slice bound")
+		}
+		if err := p.expect("downto"); err != nil {
+			return nil, err
+		}
+		lo2, err := strconv.Atoi(p.next())
+		if err != nil {
+			return nil, fmt.Errorf("vhdl-sim: bad slice bound")
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		x = &vSlice{x: x, hi: hi, lo: lo2}
+	}
+	return x, nil
+}
+
+func (p *vparser) primary() (vexpr, error) {
+	t := p.peek()
+	switch {
+	case t == "(":
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expect(")")
+	case len(t) == 3 && t[0] == '\'' && t[2] == '\'':
+		p.next()
+		return &vCharL{b: t[1]}, nil
+	case len(t) >= 2 && t[0] == '"':
+		p.next()
+		return &vBitsL{s: strings.Trim(t, `"`)}, nil
+	case isNumber(t):
+		p.next()
+		n, err := strconv.ParseInt(t, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return &vLit{n: n}, nil
+	case isIdent(t):
+		p.next()
+		if p.peek() == "(" && p.peekAt(2) != "downto" {
+			p.next()
+			call := &vCall{name: t}
+			for p.peek() != ")" {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.args = append(call.args, a)
+				if p.peek() == "," {
+					p.next()
+				}
+			}
+			p.next() // )
+			return call, nil
+		}
+		return &vIdent{name: t}, nil
+	}
+	return nil, fmt.Errorf("vhdl-sim: unexpected token %q in expression", t)
+}
+
+// ---------------------------------------------------------------------
+// Interpreter.
+
+type vmachine struct {
+	d       *fsmdDesign
+	signals map[string]vval
+	pending map[string]vval
+	vars    map[string]vval
+	inputs  map[string]vval
+	mem     map[uint32]byte
+	// stores queues write requests raised this cycle. The scheduler may
+	// issue up to two accesses per object per state (dual-ported block
+	// RAM); the single top-level port is time-multiplexed within the
+	// state, so each mem0_we <= '1' latches one request.
+	stores []storeReq
+}
+
+type storeReq struct {
+	addr uint32
+	data uint32
+	size int64
+}
+
+// combinational memory-port inputs are functions of this cycle's pending
+// outputs.
+func (m *vmachine) portRead(name string) (vval, bool) {
+	switch name {
+	case "mem1_rdata":
+		addr := uint32(m.sig("mem1_addr").n)
+		size := m.sig("mem1_size").n
+		sx := m.sig("mem1_sx").n
+		return num32(m.readMem(addr, size, sx == 1)), true
+	case "mem0_rdata":
+		return num32(0), true
+	}
+	return vval{}, false
+}
+
+// sig reads a signal preferring this cycle's pending write (used for the
+// combinational memory ports only).
+func (m *vmachine) sig(name string) vval {
+	if v, ok := m.pending[name]; ok {
+		return v
+	}
+	return m.signals[name]
+}
+
+func (m *vmachine) readMem(addr uint32, size int64, signed bool) int32 {
+	width := 4
+	switch size {
+	case 0:
+		width = 1
+	case 1:
+		width = 2
+	}
+	var v uint32
+	for i := 0; i < width; i++ {
+		v |= uint32(m.mem[addr+uint32(i)]) << (8 * i)
+	}
+	if signed {
+		switch width {
+		case 1:
+			return int32(int8(v))
+		case 2:
+			return int32(int16(v))
+		}
+	}
+	return int32(v)
+}
+
+func (m *vmachine) writeMem(addr uint32, v uint32, size int64) {
+	width := 4
+	switch size {
+	case 0:
+		width = 1
+	case 1:
+		width = 2
+	}
+	for i := 0; i < width; i++ {
+		m.mem[addr+uint32(i)] = byte(v >> (8 * i))
+	}
+}
+
+func (m *vmachine) eval(e vexpr) (vval, error) {
+	switch e := e.(type) {
+	case *vLit:
+		return vval{kind: vNum, n: e.n}, nil
+	case *vCharL:
+		return vval{kind: vBit, n: int64(e.b - '0')}, nil
+	case *vBitsL:
+		n, err := strconv.ParseInt(e.s, 2, 64)
+		if err != nil {
+			return vval{}, err
+		}
+		return vval{kind: vNum, n: n, uns: true}, nil
+	case *vIdent:
+		if v, ok := m.vars[e.name]; ok {
+			return v, nil
+		}
+		if v, ok := m.inputs[e.name]; ok {
+			return v, nil
+		}
+		if v, ok := m.portRead(e.name); ok {
+			return v, nil
+		}
+		if v, ok := m.signals[e.name]; ok {
+			return v, nil
+		}
+		if m.d.states[e.name] {
+			return vval{kind: vEnum, s: e.name}, nil
+		}
+		return vval{}, fmt.Errorf("vhdl-sim: unknown identifier %q", e.name)
+	case *vUnary:
+		x, err := m.eval(e.x)
+		if err != nil {
+			return vval{}, err
+		}
+		x.n = int64(int32(-x.n))
+		return x, nil
+	case *vSlice:
+		x, err := m.eval(e.x)
+		if err != nil {
+			return vval{}, err
+		}
+		width := e.hi - e.lo + 1
+		mask := int64(1)<<uint(width) - 1
+		return vval{kind: vNum, n: (x.n >> uint(e.lo)) & mask, uns: true}, nil
+	case *vCall:
+		return m.evalCall(e)
+	case *vBin:
+		return m.evalBin(e)
+	}
+	return vval{}, fmt.Errorf("vhdl-sim: cannot evaluate %T", e)
+}
+
+func (m *vmachine) evalCall(e *vCall) (vval, error) {
+	argv := make([]vval, len(e.args))
+	for i, a := range e.args {
+		v, err := m.eval(a)
+		if err != nil {
+			return vval{}, err
+		}
+		argv[i] = v
+	}
+	switch e.name {
+	case "rising_edge":
+		return vval{kind: vBool, n: 1}, nil
+	case "to_signed":
+		return num32(int32(argv[0].n)), nil
+	case "signed":
+		v := argv[0]
+		v.uns = false
+		v.n = int64(int32(v.n))
+		v.kind = vNum
+		return v, nil
+	case "unsigned":
+		v := argv[0]
+		v.uns = true
+		v.n = int64(uint32(v.n))
+		v.kind = vNum
+		return v, nil
+	case "std_logic_vector":
+		return argv[0], nil
+	case "resize":
+		v := argv[0]
+		if v.uns {
+			v.n = int64(uint32(v.n))
+		} else {
+			v.n = int64(int32(v.n))
+		}
+		return v, nil
+	case "to_integer":
+		return argv[0], nil
+	case "shift_left":
+		v := argv[0]
+		sh := uint(argv[1].n) & 63
+		v.n <<= sh
+		return v, nil
+	case "shift_right":
+		v := argv[0]
+		sh := uint(argv[1].n) & 63
+		if v.uns {
+			v.n = int64(uint64(v.n) >> sh)
+		} else {
+			v.n >>= sh
+		}
+		return v, nil
+	}
+	return vval{}, fmt.Errorf("vhdl-sim: unknown function %q", e.name)
+}
+
+func trunc32(v vval) vval {
+	if v.kind != vNum {
+		return v
+	}
+	if v.uns {
+		v.n = int64(uint32(v.n))
+	} else {
+		v.n = int64(int32(v.n))
+	}
+	return v
+}
+
+func (m *vmachine) evalBin(e *vBin) (vval, error) {
+	l, err := m.eval(e.l)
+	if err != nil {
+		return vval{}, err
+	}
+	r, err := m.eval(e.r)
+	if err != nil {
+		return vval{}, err
+	}
+	uns := l.uns || r.uns
+	b2v := func(b bool) vval { return vval{kind: vBool, n: boolN(b)} }
+
+	// Enum and bit comparisons.
+	if l.kind == vEnum || r.kind == vEnum {
+		switch e.op {
+		case "=":
+			return b2v(l.s == r.s), nil
+		case "/=":
+			return b2v(l.s != r.s), nil
+		}
+		return vval{}, fmt.Errorf("vhdl-sim: bad enum operation %q", e.op)
+	}
+	switch e.op {
+	case "+":
+		return vval{kind: vNum, n: l.n + r.n, uns: uns}, nil
+	case "-":
+		return vval{kind: vNum, n: l.n - r.n, uns: uns}, nil
+	case "*":
+		// Keep the exact 64-bit product for mulh patterns; 32-bit users
+		// immediately resize.
+		if uns {
+			return vval{kind: vNum, n: int64(uint64(uint32(l.n)) * uint64(uint32(r.n))), uns: true}, nil
+		}
+		return vval{kind: vNum, n: int64(int32(l.n)) * int64(int32(r.n))}, nil
+	case "/":
+		if uint32(r.n) == 0 && int32(r.n) == 0 {
+			return vval{kind: vNum, n: 0, uns: uns}, nil
+		}
+		if uns {
+			return vval{kind: vNum, n: int64(uint32(l.n) / uint32(r.n)), uns: true}, nil
+		}
+		if int32(l.n) == -1<<31 && int32(r.n) == -1 {
+			return num32(-1 << 31), nil
+		}
+		return vval{kind: vNum, n: int64(int32(l.n) / int32(r.n))}, nil
+	case "rem":
+		if uint32(r.n) == 0 && int32(r.n) == 0 {
+			return vval{kind: vNum, n: 0, uns: uns}, nil
+		}
+		if uns {
+			return vval{kind: vNum, n: int64(uint32(l.n) % uint32(r.n)), uns: true}, nil
+		}
+		if int32(l.n) == -1<<31 && int32(r.n) == -1 {
+			return num32(0), nil
+		}
+		return vval{kind: vNum, n: int64(int32(l.n) % int32(r.n))}, nil
+	case "and":
+		return vval{kind: l.kind, n: l.n & r.n, uns: uns}, nil
+	case "or":
+		return vval{kind: l.kind, n: l.n | r.n, uns: uns}, nil
+	case "xor":
+		return vval{kind: l.kind, n: l.n ^ r.n, uns: uns}, nil
+	case "=":
+		return b2v(trunc32(l).n == trunc32(r).n), nil
+	case "/=":
+		return b2v(trunc32(l).n != trunc32(r).n), nil
+	case "<", "<=", ">", ">=":
+		var cmp int
+		if uns {
+			a, b := uint32(l.n), uint32(r.n)
+			cmp = compareU(a, b)
+		} else {
+			a, b := int32(l.n), int32(r.n)
+			cmp = compareS(a, b)
+		}
+		switch e.op {
+		case "<":
+			return b2v(cmp < 0), nil
+		case "<=":
+			return b2v(cmp <= 0), nil
+		case ">":
+			return b2v(cmp > 0), nil
+		default:
+			return b2v(cmp >= 0), nil
+		}
+	}
+	return vval{}, fmt.Errorf("vhdl-sim: unknown operator %q", e.op)
+}
+
+func compareU(a, b uint32) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareS(a, b int32) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func boolN(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *vmachine) exec(stmts []vstmt) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *vAssign:
+			v, err := m.eval(s.rhs)
+			if err != nil {
+				return err
+			}
+			v = trunc32(v)
+			if s.signal {
+				m.pending[s.dst] = v
+				if s.dst == "mem0_we" && v.n == 1 {
+					m.stores = append(m.stores, storeReq{
+						addr: uint32(m.sig("mem0_addr").n),
+						data: uint32(m.sig("mem0_wdata").n),
+						size: m.sig("mem0_size").n,
+					})
+				}
+			} else {
+				m.vars[s.dst] = v
+			}
+		case *vIf:
+			taken := false
+			for i, c := range s.conds {
+				v, err := m.eval(c)
+				if err != nil {
+					return err
+				}
+				if v.n != 0 {
+					if err := m.exec(s.arms[i]); err != nil {
+						return err
+					}
+					taken = true
+					break
+				}
+			}
+			if !taken && s.els != nil {
+				if err := m.exec(s.els); err != nil {
+					return err
+				}
+			}
+		case *vCase:
+			sel, err := m.eval(&vIdent{name: s.sel})
+			if err != nil {
+				return err
+			}
+			if body, ok := s.arms[sel.s]; ok {
+				if err := m.exec(body); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("vhdl-sim: cannot execute %T", s)
+		}
+	}
+	return nil
+}
+
+// step runs one rising clock edge.
+func (m *vmachine) step(rst, start bool, arg0 int32) error {
+	m.pending = map[string]vval{}
+	m.inputs = map[string]vval{
+		"clk":   {kind: vBit, n: 1},
+		"rst":   {kind: vBit, n: boolN(rst)},
+		"start": {kind: vBit, n: boolN(start)},
+		"arg0":  num32(arg0),
+		"arg1":  num32(0),
+	}
+	if err := m.exec(m.d.body); err != nil {
+		return err
+	}
+	// Commit queued stores in issue order, then signal updates.
+	for _, st := range m.stores {
+		m.writeMem(st.addr, st.data, st.size)
+	}
+	m.stores = m.stores[:0]
+	for k, v := range m.pending {
+		m.signals[k] = v
+	}
+	return nil
+}
+
+// SimulateDesign parses generated VHDL text and executes it: reset, start
+// pulse, then clocking until done.
+func SimulateDesign(text string, cfg SimConfig) (*SimResult, error) {
+	d, err := parseDesign(text)
+	if err != nil {
+		return nil, err
+	}
+	m := &vmachine{
+		d:       d,
+		signals: map[string]vval{},
+		vars:    map[string]vval{},
+		mem:     map[uint32]byte{},
+	}
+	for _, s := range d.signals {
+		m.signals[s] = num32(0)
+	}
+	m.signals["state"] = vval{kind: vEnum, s: "st_idle"}
+	for _, v := range d.vars {
+		m.vars[v] = num32(0)
+	}
+	for a, b := range cfg.Mem {
+		m.mem[a] = b
+	}
+	max := cfg.MaxCycles
+	if max <= 0 {
+		max = 10_000_000
+	}
+
+	res := &SimResult{}
+	if err := m.step(true, false, cfg.Arg0); err != nil {
+		return nil, err
+	}
+	res.Cycles++
+	for res.Cycles < max {
+		if err := m.step(false, true, cfg.Arg0); err != nil {
+			return nil, err
+		}
+		res.Cycles++
+		if m.signals["done"].n == 1 {
+			res.Result = int32(m.signals["result"].n)
+			res.Mem = m.mem
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("vhdl-sim: no done after %d cycles", max)
+}
