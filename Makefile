@@ -1,0 +1,29 @@
+# Local development targets. `make check` is the tier-1 gate plus the
+# race sweep — run it before sending changes.
+
+GO ?= go
+
+.PHONY: build test race vet check bench experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full suite under the race detector. The exper golden tests run
+# 8-worker sweeps over shared caches, so this is the executor's
+# concurrency audit, not just a recompile.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: vet build test race
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments -j 8 -cachestats

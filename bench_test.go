@@ -260,6 +260,47 @@ func BenchmarkPartitionerSelection(b *testing.B) {
 	})
 }
 
+// ---------------------------------------------------------------------
+// Concurrent executor + content-addressed stage cache.
+
+// BenchmarkExecutorTable1Serial is the executor baseline: one worker, no
+// cache — the historical serial evaluation path.
+func BenchmarkExecutorTable1Serial(b *testing.B) {
+	r := exper.NewRunner(1, nil)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecutorTable1Parallel fans the 20 sweep points over 8 workers
+// without caching, isolating the worker-pool overhead/speedup.
+func BenchmarkExecutorTable1Parallel(b *testing.B) {
+	r := exper.NewRunner(8, nil)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecutorTable1Cached shares one stage-cache set across all
+// iterations: after the first, every compile/sim/lift/synthesis lookup is
+// a hit, so this measures the warm-cache sweep.
+func BenchmarkExecutorTable1Cached(b *testing.B) {
+	r := exper.NewRunner(8, core.NewCaches())
+	if _, err := r.Table1(); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExtensionJumpTables regenerates the E1 extension experiment:
 // the paper's two indirect-jump failures with and without jump-table
 // recovery.

@@ -1,12 +1,16 @@
-// Command bparts is the end-to-end binary partitioner: it takes a MIPS
-// SBF binary, runs the decompilation-based partitioning flow, prints the
-// report, and optionally writes the generated VHDL for every hardware
-// region.
+// Command bparts is the end-to-end binary partitioner: it takes one or
+// more MIPS SBF binaries, runs the decompilation-based partitioning flow,
+// prints each report, and optionally writes the generated VHDL for every
+// hardware region.
 //
 // Usage:
 //
 //	bparts [-mhz 200] [-device XC2V2000] [-alg 90-10|greedy|gclp]
-//	       [-vhdl dir] program.sbf
+//	       [-j N] [-cachedir dir] [-vhdl dir] program.sbf...
+//
+// With several inputs the flows run concurrently over -j workers sharing
+// one stage cache (identical binaries lift once); reports print in
+// argument order regardless of completion order.
 package main
 
 import (
@@ -14,7 +18,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 
 	"binpart/internal/binimg"
 	"binpart/internal/core"
@@ -31,20 +38,15 @@ func main() {
 	structure := flag.Bool("structure", false, "print recovered control structure per function")
 	jumpTables := flag.Bool("jumptables", false, "enable the indirect-jump (jump table) recovery extension")
 	vhdlDir := flag.String("vhdl", "", "directory to write VHDL for selected regions")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size when partitioning several binaries")
+	cacheDir := flag.String("cachedir", "", "directory for the on-disk stage cache (empty: memory only)")
+	cacheStats := flag.Bool("cachestats", false, "print cache hit/miss/eviction counters to stderr")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bparts [flags] program.sbf")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: bparts [flags] program.sbf...")
 		os.Exit(2)
 	}
 
-	data, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	img, err := binimg.Unmarshal(data)
-	if err != nil {
-		fatal(err)
-	}
 	dev, err := fpga.ByName(*device)
 	if err != nil {
 		fatal(err)
@@ -66,77 +68,142 @@ func main() {
 	}
 	opts.RecoverJumpTables = *jumpTables
 
-	rep, err := core.Run(img, opts)
-	if err != nil {
-		fatal(err)
-	}
-
-	fmt.Printf("platform: %s\n", opts.Platform.Name)
-	fmt.Printf("software-only: %d cycles (%.3f ms), exit code %d\n",
-		rep.SWCycles, rep.Metrics.SWTimeS*1e3, rep.ExitCode)
-	fmt.Printf("recovery: %d functions, %d failed", rep.Recovery.FuncsRecovered, rep.Recovery.FuncsFailed)
-	for name, reason := range rep.Recovery.FailReasons {
-		fmt.Printf("\n  %s: %s", name, reason)
-	}
-	fmt.Println()
-	fmt.Printf("decompiler: %d loops rerolled, %d multiplies promoted, %d stack slots promoted, %d operators narrowed\n",
-		rep.Recovery.RerolledLoops, rep.Recovery.PromotedMultiplies,
-		rep.Recovery.StackSlotsPromoted, rep.Recovery.OpsNarrowed)
-
-	if *structure {
-		fmt.Printf("\nrecovered structure:\n")
-		for _, name := range sortedKeys(rep.Outlines) {
-			fmt.Println(rep.Outlines[name])
+	caches := core.NewCaches()
+	if *cacheDir != "" {
+		if _, err := caches.WithDisk(*cacheDir); err != nil {
+			fatal(err)
 		}
 	}
 
-	fmt.Printf("\ncandidate regions:\n")
+	paths := flag.Args()
+	outputs := make([]string, len(paths))
+	errs := make([]error, len(paths))
+	pool := *workers
+	if pool < 1 {
+		pool = 1
+	}
+	if pool > len(paths) {
+		pool = len(paths)
+	}
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobCh {
+				outputs[i], errs[i] = partitionOne(paths[i], opts, caches, *structure, *vhdlDir, len(paths) > 1)
+			}
+		}()
+	}
+	for i := range paths {
+		jobCh <- i
+	}
+	close(jobCh)
+	wg.Wait()
+
+	for i := range paths {
+		if errs[i] != nil {
+			fatal(errs[i])
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(outputs[i])
+	}
+	if *cacheStats {
+		fmt.Fprint(os.Stderr, caches.StatsString())
+	}
+}
+
+// partitionOne runs the flow on one binary and renders its report.
+func partitionOne(path string, opts core.Options, caches *core.Caches,
+	structure bool, vhdlDir string, multi bool) (string, error) {
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	img, err := binimg.Unmarshal(data)
+	if err != nil {
+		return "", err
+	}
+	rep, err := core.RunWith(img, opts, caches)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	if multi {
+		fmt.Fprintf(&b, "==> %s\n", path)
+	}
+	fmt.Fprintf(&b, "platform: %s\n", opts.Platform.Name)
+	fmt.Fprintf(&b, "software-only: %d cycles (%.3f ms), exit code %d\n",
+		rep.SWCycles, rep.Metrics.SWTimeS*1e3, rep.ExitCode)
+	fmt.Fprintf(&b, "recovery: %d functions, %d failed", rep.Recovery.FuncsRecovered, rep.Recovery.FuncsFailed)
+	for _, name := range sortedKeys(rep.Recovery.FailReasons) {
+		fmt.Fprintf(&b, "\n  %s: %s", name, rep.Recovery.FailReasons[name])
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "decompiler: %d loops rerolled, %d multiplies promoted, %d stack slots promoted, %d operators narrowed\n",
+		rep.Recovery.RerolledLoops, rep.Recovery.PromotedMultiplies,
+		rep.Recovery.StackSlotsPromoted, rep.Recovery.OpsNarrowed)
+
+	if structure {
+		fmt.Fprintf(&b, "\nrecovered structure:\n")
+		for _, name := range sortedKeys(rep.Outlines) {
+			fmt.Fprintln(&b, rep.Outlines[name])
+		}
+	}
+
+	fmt.Fprintf(&b, "\ncandidate regions:\n")
 	for _, r := range rep.Regions {
 		mark := " "
 		if r.Selected {
 			mark = fmt.Sprintf("*%d", r.Step)
 		}
-		fmt.Printf("  %-2s %-32s sw=%-9d hw=%-9.0f clk=%.1fns area=%-7d mem=%v\n",
+		fmt.Fprintf(&b, "  %-2s %-32s sw=%-9d hw=%-9.0f clk=%.1fns area=%-7d mem=%v\n",
 			mark, r.Name, r.SWCycles, r.HWCycles, r.HWClockNs, r.AreaGates, r.Footprint)
 	}
 
 	m := rep.Metrics
-	fmt.Printf("\npartition (%s, %v):\n", opts.Algorithm, rep.PartitionTime)
-	fmt.Printf("  application speedup: %.2fx\n", m.AppSpeedup)
-	fmt.Printf("  kernel speedup:      %.2fx\n", m.KernelSpeedup)
-	fmt.Printf("  energy savings:      %.1f%%\n", 100*m.EnergySavings)
-	fmt.Printf("  area:                %d equivalent gates\n", m.AreaGates)
+	fmt.Fprintf(&b, "\npartition (%s, %v):\n", opts.Algorithm, rep.PartitionTime)
+	fmt.Fprintf(&b, "  application speedup: %.2fx\n", m.AppSpeedup)
+	fmt.Fprintf(&b, "  kernel speedup:      %.2fx\n", m.KernelSpeedup)
+	fmt.Fprintf(&b, "  energy savings:      %.1f%%\n", 100*m.EnergySavings)
+	fmt.Fprintf(&b, "  area:                %d equivalent gates\n", m.AreaGates)
 
-	if *vhdlDir != "" {
+	if vhdlDir != "" {
 		files, err := rep.VHDL()
 		if err != nil {
-			fatal(err)
+			return "", err
 		}
-		if err := os.MkdirAll(*vhdlDir, 0o755); err != nil {
-			fatal(err)
+		if err := os.MkdirAll(vhdlDir, 0o755); err != nil {
+			return "", err
 		}
 		for name, text := range files {
-			path := filepath.Join(*vhdlDir, name+".vhd")
+			path := filepath.Join(vhdlDir, name+".vhd")
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-				fatal(err)
+				return "", err
 			}
-			fmt.Printf("wrote %s\n", path)
+			fmt.Fprintf(&b, "wrote %s\n", path)
 		}
 		for _, r := range rep.SelectedRegions() {
 			tb, err := vhdl.EmitTestbench(r.Design)
 			if err != nil {
-				fatal(err)
+				return "", err
 			}
-			path := filepath.Join(*vhdlDir, r.Name+"_tb.vhd")
+			path := filepath.Join(vhdlDir, r.Name+"_tb.vhd")
 			if err := os.WriteFile(path, []byte(tb), 0o644); err != nil {
-				fatal(err)
+				return "", err
 			}
-			fmt.Printf("wrote %s\n", path)
+			fmt.Fprintf(&b, "wrote %s\n", path)
 		}
 	}
+	return b.String(), nil
 }
 
-func sortedKeys(m map[string]string) []string {
+func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

@@ -7,13 +7,22 @@
 //	experiments -table 1     # one table (1-4)
 //	experiments -figure 1    # the area-sweep figure
 //	experiments -ablation    # partitioner + pass ablations
+//	experiments -j 8         # fan sweep points over 8 workers
+//	experiments -cachedir d  # persist the compile cache under d
+//	experiments -cachestats  # print per-stage cache counters to stderr
+//
+// Tables are byte-identical at any -j: the executor reassembles rows in
+// submission order. The stage cache is shared by every experiment in one
+// invocation, so the full run lifts each distinct binary once.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"binpart/internal/core"
 	"binpart/internal/exper"
 )
 
@@ -22,7 +31,22 @@ func main() {
 	figure := flag.Int("figure", 0, "run a single figure (1)")
 	ablation := flag.Bool("ablation", false, "run the ablation studies")
 	extension := flag.Bool("extension", false, "run the jump-table recovery extension experiment")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size for experiment sweeps")
+	cacheDir := flag.String("cachedir", "", "directory for the on-disk stage cache (empty: memory only)")
+	cacheStats := flag.Bool("cachestats", false, "print cache hit/miss/eviction counters to stderr")
+	noCache := flag.Bool("nocache", false, "disable the stage cache entirely")
 	flag.Parse()
+
+	caches := core.NewCaches()
+	if *noCache {
+		caches = nil
+	} else if *cacheDir != "" {
+		if _, err := caches.WithDisk(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	runner := exper.NewRunner(*workers, caches)
 
 	all := *table == 0 && *figure == 0 && !*ablation && !*extension
 	run := func(name string, f func() (fmt.Stringer, error)) {
@@ -35,26 +59,30 @@ func main() {
 	}
 
 	if all || *table == 1 {
-		run("table 1", func() (fmt.Stringer, error) { return wrap(exper.RunTable1()) })
+		run("table 1", func() (fmt.Stringer, error) { return wrap(runner.Table1()) })
 	}
 	if all || *table == 2 {
-		run("table 2", func() (fmt.Stringer, error) { return wrap(exper.RunTable2()) })
+		run("table 2", func() (fmt.Stringer, error) { return wrap(runner.Table2()) })
 	}
 	if all || *table == 3 {
-		run("table 3", func() (fmt.Stringer, error) { return wrap(exper.RunTable3()) })
+		run("table 3", func() (fmt.Stringer, error) { return wrap(runner.Table3()) })
 	}
 	if all || *table == 4 {
-		run("table 4", func() (fmt.Stringer, error) { return wrap(exper.RunTable4()) })
+		run("table 4", func() (fmt.Stringer, error) { return wrap(runner.Table4()) })
 	}
 	if all || *figure == 1 {
-		run("figure 1", func() (fmt.Stringer, error) { return wrap(exper.RunFigure1()) })
+		run("figure 1", func() (fmt.Stringer, error) { return wrap(runner.Figure1()) })
 	}
 	if all || *ablation {
-		run("ablation 1", func() (fmt.Stringer, error) { return wrap(exper.RunPartitionerComparison()) })
-		run("ablation 2", func() (fmt.Stringer, error) { return wrap(exper.RunPassAblation()) })
+		run("ablation 1", func() (fmt.Stringer, error) { return wrap(runner.PartitionerComparison()) })
+		run("ablation 2", func() (fmt.Stringer, error) { return wrap(runner.PassAblation()) })
 	}
 	if all || *extension {
-		run("extension 1", func() (fmt.Stringer, error) { return wrap(exper.RunJumpTableExtension()) })
+		run("extension 1", func() (fmt.Stringer, error) { return wrap(runner.JumpTableExtension()) })
+	}
+
+	if *cacheStats {
+		fmt.Fprint(os.Stderr, caches.StatsString())
 	}
 }
 

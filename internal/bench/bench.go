@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"binpart/internal/binimg"
+	"binpart/internal/cache"
 	"binpart/internal/mcc"
 )
 
@@ -43,6 +44,33 @@ func (b Benchmark) Compile(optLevel int) (*binimg.Image, error) {
 		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
 	}
 	return img, nil
+}
+
+// CompileCached is Compile behind a content-addressed cache keyed by the
+// source text and the compiler options. The returned image is shared with
+// other cache users and must be treated as read-only (every consumer in
+// the pipeline is: the simulator copies data into its own pages, the
+// decompiler and synthesizer only read words and symbols). A nil cache
+// compiles directly.
+func (b Benchmark) CompileCached(optLevel int, c *cache.Cache[*binimg.Image]) (*binimg.Image, error) {
+	if c == nil {
+		return b.Compile(optLevel)
+	}
+	return c.GetOrCompute(CompileKey(b.Source, optLevel), func() (*binimg.Image, error) {
+		return b.Compile(optLevel)
+	})
+}
+
+// CompileKey is the compile-stage cache key recipe: every compiler input
+// that can change the produced image.
+func CompileKey(source string, optLevel int) cache.Key {
+	opts := mcc.Options{OptLevel: optLevel}
+	return cache.NewHasher("mcc-compile").
+		String(source).
+		Int(int64(opts.OptLevel)).
+		Uint32(opts.TextBase).
+		Uint32(opts.DataBase).
+		Sum()
 }
 
 // All returns the full 20-benchmark suite in a stable order.

@@ -1,0 +1,313 @@
+// Package cache provides content-addressed memoization for the
+// partitioning pipeline. Every stage of the flow — MicroC compilation,
+// profiling simulation, decompilation + decompiler optimization, and
+// behavioral synthesis — is a pure function of its inputs, so each stage
+// result can be keyed by a stable hash of exactly those inputs and reused
+// across experiment sweeps (the O-level sweep recompiles the same four
+// sources sixteen times; the area sweep re-lifts the same twenty binaries
+// eleven times).
+//
+// A Cache is a bounded in-memory LRU with per-key in-flight coalescing
+// (concurrent GetOrCompute calls for the same key compute once), hit /
+// miss / eviction counters, and an optional write-through disk layer for
+// values that have a byte codec. Invalidation is purely structural: a key
+// covers every byte of stage input, so changing any input byte produces a
+// different key and the stale entry simply ages out of the LRU.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"sync"
+)
+
+// Key is a 256-bit content address of one stage's inputs.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex (also the on-disk file name).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hasher accumulates stage inputs into a Key. Every write is tagged with
+// a type byte and, for variable-length data, a length prefix, so distinct
+// input sequences cannot collide by concatenation ("ab"+"c" vs "a"+"bc").
+type Hasher struct {
+	h   hash.Hash
+	buf [10]byte
+}
+
+// NewHasher starts a key for the named stage. The stage name separates
+// key spaces: a compile key and a lift key over identical bytes differ.
+func NewHasher(stage string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.String(stage)
+	return h
+}
+
+func (h *Hasher) tag(t byte, n int) {
+	h.buf[0] = t
+	binary.LittleEndian.PutUint64(h.buf[1:9], uint64(n))
+	h.h.Write(h.buf[:9])
+}
+
+// Bytes hashes a variable-length byte slice.
+func (h *Hasher) Bytes(b []byte) *Hasher {
+	h.tag('b', len(b))
+	h.h.Write(b)
+	return h
+}
+
+// String hashes a string.
+func (h *Hasher) String(s string) *Hasher {
+	h.tag('s', len(s))
+	h.h.Write([]byte(s))
+	return h
+}
+
+// Int hashes a signed integer.
+func (h *Hasher) Int(v int64) *Hasher { return h.Uint64(uint64(v)) }
+
+// Uint64 hashes an unsigned integer.
+func (h *Hasher) Uint64(v uint64) *Hasher {
+	h.buf[0] = 'u'
+	binary.LittleEndian.PutUint64(h.buf[1:9], v)
+	h.h.Write(h.buf[:9])
+	return h
+}
+
+// Uint32 hashes a 32-bit word (addresses, machine words).
+func (h *Hasher) Uint32(v uint32) *Hasher { return h.Uint64(uint64(v)) }
+
+// Float64 hashes a float by bit pattern.
+func (h *Hasher) Float64(v float64) *Hasher {
+	h.buf[0] = 'f'
+	binary.LittleEndian.PutUint64(h.buf[1:9], math.Float64bits(v))
+	h.h.Write(h.buf[:9])
+	return h
+}
+
+// Bool hashes a flag.
+func (h *Hasher) Bool(v bool) *Hasher {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	h.buf[0] = 't'
+	h.buf[1] = b
+	h.h.Write(h.buf[:2])
+	return h
+}
+
+// Words hashes a machine-word slice (text sections) without copying into
+// an intermediate buffer per element.
+func (h *Hasher) Words(ws []uint32) *Hasher {
+	h.tag('w', len(ws))
+	var tmp [4]byte
+	for _, w := range ws {
+		binary.LittleEndian.PutUint32(tmp[:], w)
+		h.h.Write(tmp[:])
+	}
+	return h
+}
+
+// Sum finalizes the key. The Hasher must not be used afterwards.
+func (h *Hasher) Sum() Key {
+	var k Key
+	h.h.Sum(k[:0])
+	return k
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      uint64 // memory hits, including coalesced in-flight waits
+	Misses    uint64 // full computes
+	Evictions uint64 // LRU entries dropped at capacity
+	DiskHits  uint64 // misses served from the disk layer
+	Entries   int    // current in-memory entry count
+}
+
+type entry[V any] struct {
+	key Key
+	val V
+}
+
+type inflightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Cache is a bounded, concurrency-safe, content-addressed LRU.
+// A nil *Cache is valid and caches nothing: Get always misses, Put is a
+// no-op, and GetOrCompute always computes. That lets call sites thread an
+// optional cache without branching.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[Key]*list.Element    // key -> *entry
+	inflight map[Key]*inflightCall[V] // keys being computed right now
+	stats    Stats
+
+	disk  *DiskStore
+	codec *Codec[V]
+}
+
+// New creates a cache bounded to capacity entries (minimum 1).
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+		inflight: make(map[Key]*inflightCall[V]),
+	}
+}
+
+// WithDisk attaches a write-through disk layer: Put persists entries via
+// the codec, and a memory miss consults the store before recomputing.
+func (c *Cache[V]) WithDisk(d *DiskStore, codec Codec[V]) *Cache[V] {
+	if c == nil || d == nil {
+		return c
+	}
+	c.mu.Lock()
+	c.disk = d
+	c.codec = &codec
+	c.mu.Unlock()
+	return c
+}
+
+// Get returns the cached value for k.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.lookupLocked(k); ok {
+		return v, true
+	}
+	c.stats.Misses++
+	return zero, false
+}
+
+// lookupLocked checks memory then disk; it records hits but not misses,
+// so callers decide how a miss is counted.
+func (c *Cache[V]) lookupLocked(k Key) (V, bool) {
+	if e, ok := c.items[k]; ok {
+		c.ll.MoveToFront(e)
+		c.stats.Hits++
+		return e.Value.(*entry[V]).val, true
+	}
+	if c.disk != nil && c.codec != nil {
+		if data, ok := c.disk.Get(k); ok {
+			if v, err := c.codec.Unmarshal(data); err == nil {
+				c.insertLocked(k, v, false)
+				c.stats.Hits++
+				c.stats.DiskHits++
+				return v, true
+			}
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts (or refreshes) a value, evicting the least recently used
+// entry when over capacity.
+func (c *Cache[V]) Put(k Key, v V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.insertLocked(k, v, true)
+	c.mu.Unlock()
+}
+
+func (c *Cache[V]) insertLocked(k Key, v V, writeDisk bool) {
+	if e, ok := c.items[k]; ok {
+		e.Value.(*entry[V]).val = v
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[k] = c.ll.PushFront(&entry[V]{key: k, val: v})
+		for c.ll.Len() > c.capacity {
+			back := c.ll.Back()
+			c.ll.Remove(back)
+			delete(c.items, back.Value.(*entry[V]).key)
+			c.stats.Evictions++
+		}
+	}
+	if writeDisk && c.disk != nil && c.codec != nil {
+		if data, err := c.codec.Marshal(v); err == nil {
+			c.disk.Put(k, data) // best effort; the memory layer is primary
+		}
+	}
+}
+
+// GetOrCompute returns the value for k, computing it with fn on a miss.
+// Concurrent calls for the same key coalesce: one caller computes, the
+// rest wait and share the result (a waiter counts as a hit). Errors are
+// not cached.
+func (c *Cache[V]) GetOrCompute(k Key, fn func() (V, error)) (V, error) {
+	if c == nil {
+		return fn()
+	}
+	c.mu.Lock()
+	if v, ok := c.lookupLocked(k); ok {
+		c.mu.Unlock()
+		return v, nil
+	}
+	if fl, ok := c.inflight[k]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			var zero V
+			return zero, fl.err
+		}
+		return fl.val, nil
+	}
+	c.stats.Misses++
+	fl := &inflightCall[V]{done: make(chan struct{})}
+	c.inflight[k] = fl
+	c.mu.Unlock()
+
+	fl.val, fl.err = fn()
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	if fl.err == nil {
+		c.insertLocked(k, fl.val, true)
+	}
+	c.mu.Unlock()
+	return fl.val, fl.err
+}
+
+// Len returns the current entry count.
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}

@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestKeyStability pins the key derivation: the same inputs must hash to
+// the same key within a process, across processes, and across releases.
+// The literal below is part of the cache's on-disk compatibility surface;
+// if the encoding changes intentionally, update it (old disk entries are
+// then unreachable, which is the designed invalidation path).
+func TestKeyStability(t *testing.T) {
+	mk := func() Key {
+		return NewHasher("stage").
+			String("source text").
+			Int(-3).
+			Uint64(7).
+			Uint32(0x0040_0000).
+			Float64(0.9).
+			Bool(true).
+			Bytes([]byte{1, 2, 3}).
+			Words([]uint32{0xdeadbeef, 0}).
+			Sum()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("same inputs, different keys: %s vs %s", a, b)
+	}
+	const pinned = "40e846754eb13ba607856324ca9bbf65dcdbac5e7642c0c7b854d728bffd578c"
+	if a.String() != pinned {
+		t.Errorf("key derivation changed: got %s, pinned %s", a, pinned)
+	}
+}
+
+// TestKeyInvalidation is table-driven over single-component perturbations:
+// changing any one input byte (or the stage name, or the write order) must
+// change the key.
+func TestKeyInvalidation(t *testing.T) {
+	base := func() *Hasher { return NewHasher("compile") }
+	baseKey := base().String("int main(){}").Int(2).Bool(false).Sum()
+
+	cases := []struct {
+		name string
+		key  Key
+	}{
+		{"stage differs", NewHasher("lift").String("int main(){}").Int(2).Bool(false).Sum()},
+		{"one source byte differs", base().String("int main(){ }").Int(2).Bool(false).Sum()},
+		{"option int differs", base().String("int main(){}").Int(3).Bool(false).Sum()},
+		{"option flag differs", base().String("int main(){}").Int(2).Bool(true).Sum()},
+		{"field order differs", base().Int(2).String("int main(){}").Bool(false).Sum()},
+		{"concatenation shifted", base().String("int main(){}2").Int(0).Bool(false).Sum()},
+		{"missing trailing field", base().String("int main(){}").Int(2).Sum()},
+	}
+	for _, tc := range cases {
+		if tc.key == baseKey {
+			t.Errorf("%s: key did not change", tc.name)
+		}
+	}
+}
+
+// TestLRUEvictionOrder checks both eviction order and that Get refreshes
+// recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	key := func(i int) Key { return NewHasher("t").Int(int64(i)).Sum() }
+	c := New[int](2)
+	c.Put(key(1), 1)
+	c.Put(key(2), 2)
+	if _, ok := c.Get(key(1)); !ok { // refresh 1; 2 becomes LRU
+		t.Fatal("entry 1 missing")
+	}
+	c.Put(key(3), 3) // evicts 2
+	if _, ok := c.Get(key(2)); ok {
+		t.Error("entry 2 survived eviction; LRU order wrong")
+	}
+	for _, i := range []int{1, 3} {
+		if v, ok := c.Get(key(i)); !ok || v != i {
+			t.Errorf("entry %d lost (ok=%v v=%d)", i, ok, v)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Entries != 2 {
+		t.Errorf("entries = %d, want 2", s.Entries)
+	}
+}
+
+// TestGetOrCompute covers the miss-compute-hit cycle and error paths.
+func TestGetOrCompute(t *testing.T) {
+	c := New[string](8)
+	k := NewHasher("t").String("k").Sum()
+	calls := 0
+	get := func() (string, error) { calls++; return "v", nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrCompute(k, get)
+		if err != nil || v != "v" {
+			t.Fatalf("round %d: %q, %v", i, v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	// Errors are not cached: the next call recomputes.
+	ke := NewHasher("t").String("err").Sum()
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute(ke, func() (string, error) { return "", boom }); err != boom {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if v, err := c.GetOrCompute(ke, func() (string, error) { return "ok", nil }); err != nil || v != "ok" {
+		t.Fatalf("error was cached: %q, %v", v, err)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 3 {
+		t.Errorf("stats = %+v, want 2 hits / 3 misses", s)
+	}
+}
+
+// TestConcurrentGetPut hammers a small cache from many goroutines; run
+// under -race this is the data-race check for the LRU internals.
+func TestConcurrentGetPut(t *testing.T) {
+	c := New[int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := NewHasher("t").Int(int64(i % 32)).Sum()
+				switch i % 3 {
+				case 0:
+					c.Put(k, i)
+				case 1:
+					c.Get(k)
+				default:
+					c.GetOrCompute(k, func() (int, error) { return i, nil })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 16 {
+		t.Errorf("capacity exceeded: %d entries", n)
+	}
+}
+
+// TestInflightCoalescing checks that concurrent GetOrCompute calls for
+// one key run the compute function exactly once and all share the result.
+func TestInflightCoalescing(t *testing.T) {
+	c := New[int](4)
+	k := NewHasher("t").String("slow").Sum()
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	const waiters = 6
+	results := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetOrCompute(k, func() (int, error) {
+				computes.Add(1)
+				<-gate // hold every racer in the in-flight window
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results <- v
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	close(results)
+	for v := range results {
+		if v != 42 {
+			t.Errorf("waiter got %d, want 42", v)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+}
+
+// TestNilCacheSafe checks the nil-cache contract used by optional wiring.
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache[int]
+	k := NewHasher("t").Sum()
+	if _, ok := c.Get(k); ok {
+		t.Error("nil cache hit")
+	}
+	c.Put(k, 1)
+	v, err := c.GetOrCompute(k, func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Errorf("nil GetOrCompute = %d, %v", v, err)
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("nil stats = %+v", s)
+	}
+}
+
+// TestDiskStoreRoundTrip checks the write-through layer: a second cache
+// sharing the directory serves a cold Get from disk.
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := Codec[string]{
+		Marshal:   func(s string) ([]byte, error) { return []byte(s), nil },
+		Unmarshal: func(b []byte) (string, error) { return string(b), nil },
+	}
+	k := NewHasher("t").String("persist").Sum()
+
+	warm := New[string](4).WithDisk(store, codec)
+	warm.Put(k, "hello")
+
+	cold := New[string](4).WithDisk(store, codec)
+	v, ok := cold.Get(k)
+	if !ok || v != "hello" {
+		t.Fatalf("disk miss: %q, %v", v, ok)
+	}
+	s := cold.Stats()
+	if s.DiskHits != 1 {
+		t.Errorf("disk hits = %d, want 1", s.DiskHits)
+	}
+	// A corrupt blob must fall through to a miss, not an error.
+	k2 := NewHasher("t").String("corrupt").Sum()
+	bad := Codec[string]{
+		Marshal:   codec.Marshal,
+		Unmarshal: func([]byte) (string, error) { return "", fmt.Errorf("corrupt") },
+	}
+	store.Put(k2, []byte("junk"))
+	c3 := New[string](4).WithDisk(store, bad)
+	if _, ok := c3.Get(k2); ok {
+		t.Error("corrupt blob served")
+	}
+}

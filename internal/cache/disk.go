@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Codec converts cache values to and from bytes for the disk layer.
+type Codec[V any] struct {
+	Marshal   func(V) ([]byte, error)
+	Unmarshal func([]byte) (V, error)
+}
+
+// DiskStore is a content-addressed on-disk blob store: one file per key,
+// named by the key's hex form. Writes are atomic (temp file + rename), so
+// concurrent processes sharing a -cachedir never observe torn entries;
+// because files are content-addressed, a racing double-write is benign.
+type DiskStore struct {
+	dir string
+}
+
+// OpenDisk opens (creating if needed) a store rooted at dir.
+func OpenDisk(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: open disk store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+func (d *DiskStore) path(k Key) string {
+	return filepath.Join(d.dir, k.String()+".sbc")
+}
+
+// Get returns the blob stored for k.
+func (d *DiskStore) Get(k Key) ([]byte, bool) {
+	if d == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(d.path(k))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores the blob for k atomically.
+func (d *DiskStore) Put(k Key, data []byte) error {
+	if d == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(d.dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, d.path(k))
+}

@@ -26,6 +26,7 @@ import (
 
 	"binpart/internal/alias"
 	"binpart/internal/binimg"
+	"binpart/internal/cache"
 	"binpart/internal/decompile"
 	"binpart/internal/dopt"
 	"binpart/internal/fpga"
@@ -174,8 +175,18 @@ func (r *Report) VHDL() (map[string]string, error) {
 	return out, nil
 }
 
-// Run executes the full flow on a binary image.
+// Run executes the full flow on a binary image without caching.
 func Run(img *binimg.Image, opts Options) (*Report, error) {
+	return RunWith(img, opts, nil)
+}
+
+// RunWith executes the full flow on a binary image, memoizing the
+// simulation, lift (decompile + dopt), and synthesis stages through the
+// given cache set. A nil cache set computes everything directly. The
+// returned Report is freshly built either way; only stage products
+// (profiles, lifted functions, designs) are shared with other runs, and
+// those are treated as immutable throughout this package.
+func RunWith(img *binimg.Image, opts Options, caches *Caches) (*Report, error) {
 	if opts.Platform.CPUMHz == 0 {
 		opts.Platform = platform.MIPS200
 	}
@@ -186,14 +197,23 @@ func Run(img *binimg.Image, opts Options) (*Report, error) {
 		}.GateEquivalent()
 	}
 	opts.Sim.Profile = true
-	rep := &Report{
-		Options:     opts,
-		DoptReports: map[string]dopt.Report{},
-		Outlines:    map[string]string{},
+	rep := &Report{Options: opts}
+
+	var imgKey cache.Key
+	if caches != nil {
+		imgKey = ImageKey(img)
 	}
 
 	// 1. Profile the all-software execution.
-	res, err := sim.Execute(img, opts.Sim)
+	var res sim.Result
+	var err error
+	if caches != nil && caches.Sim != nil {
+		res, err = caches.Sim.GetOrCompute(simKey(imgKey, opts.Sim), func() (sim.Result, error) {
+			return sim.Execute(img, opts.Sim)
+		})
+	} else {
+		res, err = sim.Execute(img, opts.Sim)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: software simulation: %w", err)
 	}
@@ -201,48 +221,29 @@ func Run(img *binimg.Image, opts Options) (*Report, error) {
 	rep.SWCycles = res.Cycles
 	cycAt := sim.AttributeCycles(img, res.Profile, opts.Sim.Cycles)
 
-	// 2. Decompile.
-	dec, err := decompile.DecompileWith(img, decompile.Options{RecoverJumpTables: opts.RecoverJumpTables})
+	// 2+3. Decompile and run the decompiler optimization pipeline.
+	decOpts := decompile.Options{RecoverJumpTables: opts.RecoverJumpTables}
+	var lr *LiftResult
+	if caches != nil && caches.Lift != nil {
+		lr, err = caches.Lift.GetOrCompute(liftKey(imgKey, decOpts, opts.Dopt), func() (*LiftResult, error) {
+			return computeLift(img, decOpts, opts.Dopt)
+		})
+	} else {
+		lr, err = computeLift(img, decOpts, opts.Dopt)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	rep.Recovery.FailReasons = map[string]string{}
-	for name, ferr := range dec.Failed {
-		rep.Recovery.FuncsFailed++
-		rep.Recovery.FailReasons[name] = ferr.Error()
-	}
+	dec := lr.Dec
+	rerollFactors := lr.Factors
+	// The report owns fresh top-level maps; the values inside are shared
+	// with the cache and read-only.
+	rep.Recovery = lr.Recovery
+	rep.Recovery.FailReasons = copyStringMap(lr.Recovery.FailReasons)
+	rep.DoptReports = copyStringMap(lr.Reports)
+	rep.Outlines = copyStringMap(lr.Outlines)
 
-	// 3. Decompiler optimizations + structure recovery per function.
-	rerollFactors := map[string]map[int]int{}
-	for _, f := range dec.Funcs {
-		rep.Recovery.FuncsRecovered++
-		dr := dopt.OptimizeWith(f, opts.Dopt)
-		rep.DoptReports[f.Name] = dr
-		rerollFactors[f.Name] = dr.Reroll.Factors
-		rep.Recovery.RerolledLoops += len(dr.Reroll.Rerolled)
-		rep.Recovery.PromotedMultiplies += dr.Promote.Multiplies
-		rep.Recovery.StackSlotsPromoted += dr.Stack.SlotsPromoted
-		rep.Recovery.OpsNarrowed += dr.Width.OpsNarrowed
-
-		st := ir.Recover(f)
-		sig := fmt.Sprintf("  signature: %s(%d args)", f.Name, dopt.InferParams(f))
-		if dopt.InferReturns(f) {
-			sig += " -> value"
-		}
-		rep.Outlines[f.Name] = st.Outline(f) + sig + "\n"
-		for _, l := range st.Loops {
-			rep.Recovery.LoopsFound++
-			if l.Shape != ir.LoopOther {
-				rep.Recovery.LoopsShaped++
-			}
-		}
-		for _, i := range st.Ifs {
-			rep.Recovery.IfsFound++
-			if i.Shape != ir.IfUnstructured {
-				rep.Recovery.IfsShaped++
-			}
-		}
-	}
+	sctx := &synthCtx{caches: caches, imgKey: imgKey}
 
 	// 4. Build candidates: outermost loops (default), or whole call-free
 	// functions when running at function granularity.
@@ -264,9 +265,12 @@ func Run(img *binimg.Image, opts Options) (*Report, error) {
 		if f.Name == "_start" {
 			continue
 		}
+		if caches != nil && caches.Synth != nil {
+			sctx.sig = funcSignature(f)
+		}
 		extents := blockExtents(f, img)
 		if opts.Granularity == GranFunctions {
-			rr, err := buildFuncCandidate(f, img, extents, res.Profile, cycAt, rerollFactors[f.Name], opts)
+			rr, err := buildFuncCandidate(f, img, extents, res.Profile, cycAt, rerollFactors[f.Name], opts, sctx)
 			if err == nil && rr != nil {
 				addCand(rr, f.NumInstrs())
 			}
@@ -277,7 +281,7 @@ func Run(img *binimg.Image, opts Options) (*Report, error) {
 			if l.Depth != 1 || !synthesizable(l) {
 				continue
 			}
-			rr, err := buildCandidate(f, l, img, extents, res.Profile, cycAt, rerollFactors[f.Name], opts)
+			rr, err := buildCandidate(f, l, img, extents, res.Profile, cycAt, rerollFactors[f.Name], opts, sctx)
 			if err != nil || rr == nil {
 				continue
 			}
@@ -323,7 +327,7 @@ func Run(img *binimg.Image, opts Options) (*Report, error) {
 // hardware region.
 func buildFuncCandidate(f *ir.Func, img *binimg.Image,
 	extents map[int][2]uint32, prof *sim.Profile, cycAt map[uint32]uint64,
-	rerollFactors map[int]int, opts Options) (*RegionReport, error) {
+	rerollFactors map[int]int, opts Options, sctx *synthCtx) (*RegionReport, error) {
 
 	for _, b := range f.Blocks {
 		for i := range b.Instrs {
@@ -353,7 +357,7 @@ func buildFuncCandidate(f *ir.Func, img *binimg.Image,
 	if invocations == 0 {
 		invocations = 1
 	}
-	d, err := synth.Synthesize(synth.FuncRegion(f), img, opts.Synth)
+	d, err := sctx.synthesize(synth.FuncRegion(f), img, opts.Synth)
 	if err != nil {
 		return nil, err
 	}
@@ -411,7 +415,7 @@ func blockExtents(f *ir.Func, img *binimg.Image) map[int][2]uint32 {
 // numbers.
 func buildCandidate(f *ir.Func, l *ir.Loop, img *binimg.Image,
 	extents map[int][2]uint32, prof *sim.Profile, cycAt map[uint32]uint64,
-	rerollFactors map[int]int, opts Options) (*RegionReport, error) {
+	rerollFactors map[int]int, opts Options, sctx *synthCtx) (*RegionReport, error) {
 
 	// Software cycles and block execution counts from the profile.
 	var swCycles uint64
@@ -467,7 +471,7 @@ func buildCandidate(f *ir.Func, l *ir.Loop, img *binimg.Image,
 		invocations = headerExecs - backFlow
 	}
 
-	d, err := synth.Synthesize(synth.LoopRegion(f, l), img, opts.Synth)
+	d, err := sctx.synthesize(synth.LoopRegion(f, l), img, opts.Synth)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"binpart/internal/mcc"
+	"binpart/internal/progen"
+)
+
+// runFingerprint renders every profile- and synthesis-derived number in a
+// Report except the measured PartitionTime.
+func runFingerprint(rep *Report) string {
+	s := fmt.Sprintf("exit=%d sw=%d metrics=%+v recovery=%+v\n",
+		rep.ExitCode, rep.SWCycles, rep.Metrics, rep.Recovery)
+	for _, r := range rep.Regions {
+		s += fmt.Sprintf("region %s sw=%d hw=%.6f clk=%.6f inv=%d area=%d sel=%v step=%d\n",
+			r.Name, r.SWCycles, r.HWCycles, r.HWClockNs, r.Invocations,
+			r.AreaGates, r.Selected, r.Step)
+	}
+	return s
+}
+
+// TestRunDeterminism requires the whole flow to be a pure function of the
+// binary and options: repeated runs on the same image must agree on every
+// region cost and metric. The flow iterates several Go maps (loop block
+// sets, profiles, symbol tables); any order-dependent choice surfaces
+// here as a flaky diff — which is also what would break the byte-identical
+// guarantee of the parallel experiment executor and the coherence of the
+// stage cache. (Regression: pipeline body selection for two-block loops
+// used to follow map order when both blocks tied on size.)
+func TestRunDeterminism(t *testing.T) {
+	cfg := progen.Config{MaxStmts: 6, MaxDepth: 3, MaxLoops: 3, Arrays: true, UnrollFriendly: true}
+	opts := DefaultOptions()
+	for seed := int64(0); seed < 40; seed++ {
+		p := progen.Generate(seed*29+5, cfg)
+		for lvl := 2; lvl <= 3; lvl++ {
+			img, err := mcc.Compile(p.Source, mcc.Options{OptLevel: lvl})
+			if err != nil {
+				t.Fatalf("seed %d O%d: %v", p.Seed, lvl, err)
+			}
+			var want string
+			for run := 0; run < 3; run++ {
+				rep, err := Run(img, opts)
+				if err != nil {
+					t.Fatalf("seed %d O%d: %v", p.Seed, lvl, err)
+				}
+				got := runFingerprint(rep)
+				if run == 0 {
+					want = got
+				} else if got != want {
+					t.Fatalf("seed %d O%d: run %d differs:\n--- first ---\n%s--- run %d ---\n%s\n%s",
+						p.Seed, lvl, run, want, run, got, p.Source)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package dopt
 
-import "binpart/internal/ir"
+import (
+	"sort"
+
+	"binpart/internal/ir"
+)
 
 // RerollReport summarizes loop rerolling over a function.
 type RerollReport struct {
@@ -73,9 +77,17 @@ func tryReroll(f *ir.Func, l *ir.Loop) (factor, removed, bodyIdx int) {
 	for _, iv := range l.IndVars {
 		ivStep[iv.Loc] = iv.Step
 	}
+	// Scan candidates in block-index order: l.Blocks is a map, and if two
+	// blocks both update every induction variable the rewrite must not
+	// depend on iteration order.
+	bidx := make([]int, 0, len(l.Blocks))
+	for idx := range l.Blocks {
+		bidx = append(bidx, idx)
+	}
+	sort.Ints(bidx)
 	var body *ir.Block
-	for _, b := range l.Blocks {
-		if countIVUpdates(b, ivStep) == len(l.IndVars) {
+	for _, idx := range bidx {
+		if b := l.Blocks[idx]; countIVUpdates(b, ivStep) == len(l.IndVars) {
 			body = b
 			break
 		}

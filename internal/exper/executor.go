@@ -1,0 +1,164 @@
+package exper
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"binpart/internal/bench"
+	"binpart/internal/binimg"
+	"binpart/internal/core"
+)
+
+// Runner executes experiment sweeps over a bounded worker pool with an
+// optional content-addressed stage-cache set. Every table and figure
+// fans its (benchmark, opt level, options) points out across Workers
+// goroutines and reassembles the rows in submission order, so the
+// rendered tables are byte-identical to a serial run at any worker
+// count. The zero value runs serially without caching.
+type Runner struct {
+	// Workers is the pool size; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Caches memoizes the compile, simulate, lift, and synthesis stages
+	// across sweep points; nil disables caching.
+	Caches *core.Caches
+}
+
+// NewRunner builds a Runner. workers <= 0 selects GOMAXPROCS; caches may
+// be nil.
+func NewRunner(workers int, caches *core.Caches) *Runner {
+	return &Runner{Workers: workers, Caches: caches}
+}
+
+// defaultRunner backs the package-level Run* entry points: serial and
+// cacheless, preserving the historical behavior the per-stage benchmarks
+// in bench_test.go measure.
+var defaultRunner = &Runner{Workers: 1}
+
+// rowJob is one sweep point: a benchmark compiled at one optimization
+// level and partitioned under one configuration.
+type rowJob struct {
+	bench bench.Benchmark
+	level int
+	opts  core.Options
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// rows executes every job and returns one Row per job, in job order
+// regardless of completion order: workers pull indexes from a channel and
+// send indexed results back, and the collector writes each into its slot.
+// The first error aborts the sweep (remaining jobs are skipped, in-flight
+// ones drain).
+func (r *Runner) rows(jobs []rowJob) ([]Row, error) {
+	out := make([]Row, len(jobs))
+	workers := r.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			row, err := r.runOne(j)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = row
+		}
+		return out, nil
+	}
+
+	type result struct {
+		index int
+		row   Row
+		err   error
+	}
+	jobCh := make(chan int)
+	resCh := make(chan result, len(jobs))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobCh {
+				if failed.Load() {
+					resCh <- result{index: i, err: errSkipped}
+					continue
+				}
+				row, err := r.runOne(jobs[i])
+				if err != nil {
+					failed.Store(true)
+				}
+				resCh <- result{index: i, row: row, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			jobCh <- i
+		}
+		close(jobCh)
+		wg.Wait()
+		close(resCh)
+	}()
+
+	var firstErr error
+	for res := range resCh {
+		if res.err != nil {
+			if firstErr == nil && res.err != errSkipped {
+				firstErr = res.err
+			}
+			continue
+		}
+		out[res.index] = res.row
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// errSkipped marks jobs abandoned after another job already failed.
+var errSkipped = fmt.Errorf("exper: skipped after earlier failure")
+
+// compile builds a job's binary, through the compile cache when present.
+func (r *Runner) compile(j rowJob) (*binimg.Image, error) {
+	if r.Caches != nil {
+		return j.bench.CompileCached(j.level, r.Caches.Compile)
+	}
+	return j.bench.Compile(j.level)
+}
+
+// runOne executes the full flow for one sweep point.
+func (r *Runner) runOne(j rowJob) (Row, error) {
+	img, err := r.compile(j)
+	if err != nil {
+		return Row{}, err
+	}
+	rep, err := core.RunWith(img, j.opts, r.Caches)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s: %w", j.bench.Name, err)
+	}
+	_, failed := rep.Recovery.FailReasons[j.bench.KernelFunc]
+	return Row{
+		Name:          j.bench.Name,
+		Suite:         j.bench.Suite,
+		OptLevel:      j.level,
+		SWTimeMs:      rep.Metrics.SWTimeS * 1e3,
+		HWSWTimeMs:    rep.Metrics.HWSWTimeS * 1e3,
+		AppSpeedup:    rep.Metrics.AppSpeedup,
+		KernelSpeedup: rep.Metrics.KernelSpeedup,
+		EnergySavings: rep.Metrics.EnergySavings,
+		AreaGates:     rep.Metrics.AreaGates,
+		Selected:      len(rep.SelectedRegions()),
+		KernelFailed:  failed,
+		PartitionTime: rep.PartitionTime,
+		Recovery:      rep.Recovery,
+	}, nil
+}

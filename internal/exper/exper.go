@@ -2,6 +2,13 @@
 // figure in DESIGN.md's experiment index is produced by a function here,
 // shared by the experiments CLI (cmd/experiments) and the benchmark
 // harness (bench_test.go at the repository root).
+//
+// Each experiment is a sweep over (benchmark, optimization level,
+// configuration) points. A Runner fans those points out over a bounded
+// worker pool and reuses stage results through a content-addressed cache
+// (see internal/cache); the package-level Run* functions execute serially
+// without caching and exist for API stability. Row order — and therefore
+// every formatted table — is identical at any worker count.
 package exper
 
 import (
@@ -31,34 +38,6 @@ type Row struct {
 	KernelFailed  bool
 	PartitionTime time.Duration
 	Recovery      core.RecoveryStats
-}
-
-// runOne executes the full flow for one benchmark.
-func runOne(b bench.Benchmark, optLevel int, opts core.Options) (Row, error) {
-	img, err := b.Compile(optLevel)
-	if err != nil {
-		return Row{}, err
-	}
-	rep, err := core.Run(img, opts)
-	if err != nil {
-		return Row{}, fmt.Errorf("%s: %w", b.Name, err)
-	}
-	_, failed := rep.Recovery.FailReasons[b.KernelFunc]
-	return Row{
-		Name:          b.Name,
-		Suite:         b.Suite,
-		OptLevel:      optLevel,
-		SWTimeMs:      rep.Metrics.SWTimeS * 1e3,
-		HWSWTimeMs:    rep.Metrics.HWSWTimeS * 1e3,
-		AppSpeedup:    rep.Metrics.AppSpeedup,
-		KernelSpeedup: rep.Metrics.KernelSpeedup,
-		EnergySavings: rep.Metrics.EnergySavings,
-		AreaGates:     rep.Metrics.AreaGates,
-		Selected:      len(rep.SelectedRegions()),
-		KernelFailed:  failed,
-		PartitionTime: rep.PartitionTime,
-		Recovery:      rep.Recovery,
-	}, nil
 }
 
 // Summary aggregates rows as the paper does: averages over benchmarks
@@ -95,6 +74,17 @@ func summarize(rows []Row) Summary {
 	return s
 }
 
+// suiteJobs builds one job per benchmark at -O1 on the given platform.
+func suiteJobs(p platform.Platform) []rowJob {
+	var jobs []rowJob
+	for _, b := range bench.All() {
+		opts := core.DefaultOptions()
+		opts.Platform = p
+		jobs = append(jobs, rowJob{bench: b, level: 1, opts: opts})
+	}
+	return jobs
+}
+
 // Table1 is the main-results experiment: all 20 benchmarks, -O1
 // binaries, 200 MHz MIPS + XC2V2000. Paper reference: average application
 // speedup 5.4, kernel speedup 44.8, energy savings 69 %, area 26,261
@@ -104,24 +94,20 @@ type Table1 struct {
 	Summary Summary
 }
 
-// RunTable1 executes the main-results experiment.
-func RunTable1() (*Table1, error) {
-	return runTableOn(platform.MIPS200)
+// RunTable1 executes the main-results experiment serially.
+func RunTable1() (*Table1, error) { return defaultRunner.Table1() }
+
+// Table1 executes the main-results experiment.
+func (r *Runner) Table1() (*Table1, error) {
+	return r.tableOn(platform.MIPS200)
 }
 
-func runTableOn(p platform.Platform) (*Table1, error) {
-	t := &Table1{}
-	for _, b := range bench.All() {
-		opts := core.DefaultOptions()
-		opts.Platform = p
-		row, err := runOne(b, 1, opts)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, row)
+func (r *Runner) tableOn(p platform.Platform) (*Table1, error) {
+	rows, err := r.rows(suiteJobs(p))
+	if err != nil {
+		return nil, err
 	}
-	t.Summary = summarize(t.Rows)
-	return t, nil
+	return &Table1{Rows: rows, Summary: summarize(rows)}, nil
 }
 
 // Format renders the table.
@@ -153,16 +139,28 @@ type Table2 struct {
 	Summaries []Summary
 }
 
-// RunTable2 executes the platform sweep.
-func RunTable2() (*Table2, error) {
+// RunTable2 executes the platform sweep serially.
+func RunTable2() (*Table2, error) { return defaultRunner.Table2() }
+
+// Table2 executes the platform sweep. All three platforms' points enter
+// one fan-out, so the sweep saturates the pool; the simulation and lift
+// stages are clock-independent and hit the cache on all but the first
+// platform.
+func (r *Runner) Table2() (*Table2, error) {
+	mhzs := []float64{40, 200, 400}
+	var jobs []rowJob
+	for _, mhz := range mhzs {
+		jobs = append(jobs, suiteJobs(platform.MIPS(mhz, platform.MIPS200.Device))...)
+	}
+	rows, err := r.rows(jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table2{}
-	for _, mhz := range []float64{40, 200, 400} {
-		t1, err := runTableOn(platform.MIPS(mhz, platform.MIPS200.Device))
-		if err != nil {
-			return nil, err
-		}
+	per := len(bench.All())
+	for i, mhz := range mhzs {
 		t.MHz = append(t.MHz, mhz)
-		t.Summaries = append(t.Summaries, t1.Summary)
+		t.Summaries = append(t.Summaries, summarize(rows[i*per:(i+1)*per]))
 	}
 	return t, nil
 }
@@ -188,19 +186,22 @@ type Table3 struct {
 	Rows []Row // grouped by benchmark, levels 0..3
 }
 
-// RunTable3 executes the optimization-level experiment.
-func RunTable3() (*Table3, error) {
-	t := &Table3{}
+// RunTable3 executes the optimization-level experiment serially.
+func RunTable3() (*Table3, error) { return defaultRunner.Table3() }
+
+// Table3 executes the optimization-level experiment.
+func (r *Runner) Table3() (*Table3, error) {
+	var jobs []rowJob
 	for _, b := range bench.OptSweepSet() {
 		for lvl := 0; lvl <= 3; lvl++ {
-			row, err := runOne(b, lvl, core.DefaultOptions())
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, row)
+			jobs = append(jobs, rowJob{bench: b, level: lvl, opts: core.DefaultOptions()})
 		}
 	}
-	return t, nil
+	rows, err := r.rows(jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Table3{Rows: rows}, nil
 }
 
 // Format renders the table.
@@ -226,18 +227,24 @@ type Table4 struct {
 	FailedList []string
 }
 
-// RunTable4 executes the recovery audit.
-func RunTable4() (*Table4, error) {
-	t := &Table4{}
+// RunTable4 executes the recovery audit serially.
+func RunTable4() (*Table4, error) { return defaultRunner.Table4() }
+
+// Table4 executes the recovery audit.
+func (r *Runner) Table4() (*Table4, error) {
+	var jobs []rowJob
 	for _, b := range bench.All() {
-		row, err := runOne(b, 1, core.DefaultOptions())
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, row)
+		jobs = append(jobs, rowJob{bench: b, level: 1, opts: core.DefaultOptions()})
+	}
+	rows, err := r.rows(jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table4{Rows: rows}
+	for _, row := range rows {
 		if row.KernelFailed {
 			t.Failed++
-			t.FailedList = append(t.FailedList, b.Name)
+			t.FailedList = append(t.FailedList, row.Name)
 		} else {
 			t.Recovered++
 		}
@@ -272,25 +279,31 @@ type Figure1 struct {
 	Areas    []int
 }
 
-// RunFigure1 executes the area sweep over the Virtex-II catalog.
-func RunFigure1() (*Figure1, error) {
-	f := &Figure1{}
+// RunFigure1 executes the area sweep serially.
+func RunFigure1() (*Figure1, error) { return defaultRunner.Figure1() }
+
+// Figure1 executes the area sweep over the Virtex-II catalog: 11 devices
+// x 20 benchmarks in one fan-out. Compilation, simulation, lift, and
+// synthesis are all device-independent, so a warm cache reduces each
+// point to partitioning plus platform evaluation.
+func (r *Runner) Figure1() (*Figure1, error) {
+	var jobs []rowJob
 	for _, dev := range fpga.Catalog {
-		p := platform.MIPS(200, dev)
+		jobs = append(jobs, suiteJobs(platform.MIPS(200, dev))...)
+	}
+	rows, err := r.rows(jobs)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure1{}
+	per := len(bench.All())
+	for i, dev := range fpga.Catalog {
 		var sum float64
-		n := 0
-		for _, b := range bench.All() {
-			opts := core.DefaultOptions()
-			opts.Platform = p
-			row, err := runOne(b, 1, opts)
-			if err != nil {
-				return nil, err
-			}
+		for _, row := range rows[i*per : (i+1)*per] {
 			sum += row.AppSpeedup
-			n++
 		}
 		f.Devices = append(f.Devices, dev.Name)
-		f.Speedups = append(f.Speedups, sum/float64(n))
+		f.Speedups = append(f.Speedups, sum/float64(per))
 		f.Areas = append(f.Areas, fpga.Area{Slices: dev.Slices, Mult18: dev.Mult18}.GateEquivalent())
 	}
 	return f, nil
@@ -322,28 +335,36 @@ type Ablation struct {
 	PartTimes []time.Duration
 }
 
-// RunPartitionerComparison compares partitioning algorithms over the
-// suite.
-func RunPartitionerComparison() (*Ablation, error) {
-	a := &Ablation{}
-	for _, alg := range []core.Algorithm{core.AlgNinetyTen, core.AlgGreedy, core.AlgGCLP} {
-		var sum float64
-		var ptime time.Duration
-		n := 0
+// RunPartitionerComparison compares partitioning algorithms serially.
+func RunPartitionerComparison() (*Ablation, error) { return defaultRunner.PartitionerComparison() }
+
+// PartitionerComparison compares partitioning algorithms over the suite.
+func (r *Runner) PartitionerComparison() (*Ablation, error) {
+	algs := []core.Algorithm{core.AlgNinetyTen, core.AlgGreedy, core.AlgGCLP}
+	var jobs []rowJob
+	for _, alg := range algs {
 		for _, b := range bench.All() {
 			opts := core.DefaultOptions()
 			opts.Algorithm = alg
-			row, err := runOne(b, 1, opts)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, rowJob{bench: b, level: 1, opts: opts})
+		}
+	}
+	rows, err := r.rows(jobs)
+	if err != nil {
+		return nil, err
+	}
+	a := &Ablation{}
+	per := len(bench.All())
+	for i, alg := range algs {
+		var sum float64
+		var ptime time.Duration
+		for _, row := range rows[i*per : (i+1)*per] {
 			sum += row.AppSpeedup
 			ptime += row.PartitionTime
-			n++
 		}
 		a.Names = append(a.Names, alg.String())
-		a.Speedups = append(a.Speedups, sum/float64(n))
-		a.PartTimes = append(a.PartTimes, ptime/time.Duration(n))
+		a.Speedups = append(a.Speedups, sum/float64(per))
+		a.PartTimes = append(a.PartTimes, ptime/time.Duration(per))
 	}
 	return a, nil
 }
@@ -367,8 +388,11 @@ type PassAblation struct {
 	Areas    []int
 }
 
-// RunPassAblation toggles decompiler passes off one at a time.
-func RunPassAblation() (*PassAblation, error) {
+// RunPassAblation toggles decompiler passes off one at a time, serially.
+func RunPassAblation() (*PassAblation, error) { return defaultRunner.PassAblation() }
+
+// PassAblation toggles decompiler passes off one at a time.
+func (r *Runner) PassAblation() (*PassAblation, error) {
 	cfgs := []struct {
 		name string
 		cfg  dopt.Config
@@ -383,28 +407,33 @@ func RunPassAblation() (*PassAblation, error) {
 		{name: "no-alias", cfg: dopt.Config{}, syn: func(o *core.Options) { o.Partition.SkipAliasStep = true }},
 		{name: "banked-mem4", cfg: dopt.Config{}, syn: func(o *core.Options) { o.Synth.Resources.MemBanks = 4 }},
 	}
-	a := &PassAblation{}
+	var jobs []rowJob
 	for _, c := range cfgs {
-		var sum float64
-		var area int
-		n := 0
 		for _, b := range bench.OptSweepSet() {
 			opts := core.DefaultOptions()
 			opts.Dopt = c.cfg
 			if c.syn != nil {
 				c.syn(&opts)
 			}
-			row, err := runOne(b, 3, opts)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, rowJob{bench: b, level: 3, opts: opts})
+		}
+	}
+	rows, err := r.rows(jobs)
+	if err != nil {
+		return nil, err
+	}
+	a := &PassAblation{}
+	per := len(bench.OptSweepSet())
+	for i, c := range cfgs {
+		var sum float64
+		var area int
+		for _, row := range rows[i*per : (i+1)*per] {
 			sum += row.AppSpeedup
 			area += row.AreaGates
-			n++
 		}
 		a.Names = append(a.Names, c.name)
-		a.Speedups = append(a.Speedups, sum/float64(n))
-		a.Areas = append(a.Areas, area/n)
+		a.Speedups = append(a.Speedups, sum/float64(per))
+		a.Areas = append(a.Areas, area/per)
 	}
 	return a, nil
 }
@@ -429,24 +458,30 @@ type Extension struct {
 	ExtRecovered  []bool
 }
 
-// RunJumpTableExtension executes the extension experiment.
-func RunJumpTableExtension() (*Extension, error) {
-	e := &Extension{}
-	for _, name := range []string{"routelookup", "ttsprk"} {
+// RunJumpTableExtension executes the extension experiment serially.
+func RunJumpTableExtension() (*Extension, error) { return defaultRunner.JumpTableExtension() }
+
+// JumpTableExtension executes the extension experiment.
+func (r *Runner) JumpTableExtension() (*Extension, error) {
+	names := []string{"routelookup", "ttsprk"}
+	var jobs []rowJob
+	for _, name := range names {
 		b, ok := bench.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("missing benchmark %s", name)
 		}
-		base, err := runOne(b, 1, core.DefaultOptions())
-		if err != nil {
-			return nil, err
-		}
-		opts := core.DefaultOptions()
-		opts.RecoverJumpTables = true
-		ext, err := runOne(b, 1, opts)
-		if err != nil {
-			return nil, err
-		}
+		base := core.DefaultOptions()
+		ext := core.DefaultOptions()
+		ext.RecoverJumpTables = true
+		jobs = append(jobs, rowJob{bench: b, level: 1, opts: base}, rowJob{bench: b, level: 1, opts: ext})
+	}
+	rows, err := r.rows(jobs)
+	if err != nil {
+		return nil, err
+	}
+	e := &Extension{}
+	for i, name := range names {
+		base, ext := rows[2*i], rows[2*i+1]
 		e.Names = append(e.Names, name)
 		e.BaseSpeedups = append(e.BaseSpeedups, base.AppSpeedup)
 		e.ExtSpeedups = append(e.ExtSpeedups, ext.AppSpeedup)

@@ -1,0 +1,114 @@
+package exper
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"binpart/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current serial run")
+
+const t1GoldenPath = "testdata/t1_golden.txt"
+
+// TestTable1Golden pins the main-results table to a golden file and
+// requires the parallel cached executor to reproduce it byte for byte.
+// The golden file freezes the experiment's observable output: any change
+// to the pipeline that moves a number shows up as a diff here, and any
+// ordering or sharing bug in the concurrent executor breaks the
+// serial/parallel equality.
+func TestTable1Golden(t *testing.T) {
+	serial, err := NewRunner(1, nil).Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialText := serial.Format()
+
+	parallel, err := NewRunner(8, core.NewCaches()).Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parText := parallel.Format(); parText != serialText {
+		t.Errorf("parallel (-j 8, cached) table differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serialText, parText)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(t1GoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(t1GoldenPath, []byte(serialText), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	golden, err := os.ReadFile(t1GoldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/exper -run TestTable1Golden -update` to create it)", err)
+	}
+	if serialText != string(golden) {
+		t.Errorf("T1 drifted from golden file (re-run with -update if intended):\n--- golden ---\n%s--- got ---\n%s", golden, serialText)
+	}
+}
+
+// TestParallelSweepsMatchSerial runs the cheaper sweeps at -j 8 on one
+// shared cache, concurrently with each other, and checks each against its
+// serial rendering. Under `go test -race` this is the executor's
+// data-race sweep: rows from all three experiments interleave in one
+// worker pool while sharing cached profiles, lifted functions, and
+// designs.
+func TestParallelSweepsMatchSerial(t *testing.T) {
+	serialT3, err := RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialT4, err := RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialE1, err := RunJumpTableExtension()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(8, core.NewCaches())
+	var wg sync.WaitGroup
+	var parT3 *Table3
+	var parT4 *Table4
+	var parE1 *Extension
+	var errT3, errT4, errE1 error
+	wg.Add(3)
+	go func() { defer wg.Done(); parT3, errT3 = r.Table3() }()
+	go func() { defer wg.Done(); parT4, errT4 = r.Table4() }()
+	go func() { defer wg.Done(); parE1, errE1 = r.JumpTableExtension() }()
+	wg.Wait()
+	for _, err := range []error{errT3, errT4, errE1} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := parT3.Format(), serialT3.Format(); got != want {
+		t.Errorf("T3 parallel != serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if got, want := parT4.Format(), serialT4.Format(); got != want {
+		t.Errorf("T4 parallel != serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if got, want := parE1.Format(), serialE1.Format(); got != want {
+		t.Errorf("E1 parallel != serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+}
+
+// TestRunnerErrorPropagation checks that a failing sweep point aborts the
+// fan-out and surfaces its error.
+func TestRunnerErrorPropagation(t *testing.T) {
+	r := NewRunner(4, nil)
+	jobs := make([]rowJob, 6)
+	for i := range jobs {
+		jobs[i] = rowJob{level: 99} // invalid opt level: compile must fail
+	}
+	if _, err := r.rows(jobs); err == nil {
+		t.Fatal("invalid jobs produced no error")
+	}
+}

@@ -169,7 +169,12 @@ func FindLoops(f *Func) []*Loop {
 				}
 			}
 		}
-		sort.Slice(l.Exits, func(i, j int) bool { return l.Exits[i].From.Index < l.Exits[j].From.Index })
+		sort.Slice(l.Exits, func(i, j int) bool {
+			if l.Exits[i].From.Index != l.Exits[j].From.Index {
+				return l.Exits[i].From.Index < l.Exits[j].From.Index
+			}
+			return l.Exits[i].To.Index < l.Exits[j].To.Index
+		})
 	}
 	// Parent: the smallest strictly-containing loop.
 	for _, l := range loops {

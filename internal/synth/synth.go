@@ -236,10 +236,16 @@ func pipelineLoops(r Region, d *Design, res Resources) []PipeInfo {
 			continue
 		}
 		// Identify the work block (bulk of instructions) and require the
-		// other block (if any) to be a pure test.
+		// other block (if any) to be a pure test. Iterate in block-index
+		// order so ties break deterministically.
+		idxs := make([]int, 0, len(l.Blocks))
+		for idx := range l.Blocks {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
 		var body *ir.Block
-		for _, b := range l.Blocks {
-			if body == nil || len(b.Instrs) > len(body.Instrs) {
+		for _, idx := range idxs {
+			if b := l.Blocks[idx]; body == nil || len(b.Instrs) > len(body.Instrs) {
 				body = b
 			}
 		}
