@@ -22,8 +22,11 @@ vet:
 
 check: vet build test race
 
+# Runs every benchmark and distills the results (per-stage ns/op plus the
+# T1 headline custom metrics) into BENCH.json via cmd/benchjson. The text
+# output still streams to the terminal.
 bench:
-	$(GO) test -run NONE -bench . -benchmem .
+	$(GO) test -run NONE -bench . -benchmem . | $(GO) run ./cmd/benchjson -o BENCH.json
 
 experiments:
 	$(GO) run ./cmd/experiments -j 8 -cachestats

@@ -22,6 +22,7 @@ import (
 	"binpart/internal/exper"
 	"binpart/internal/ir"
 	"binpart/internal/mcc"
+	"binpart/internal/mips"
 	"binpart/internal/partition"
 	"binpart/internal/sim"
 	"binpart/internal/synth"
@@ -154,8 +155,23 @@ func BenchmarkStageCompile(b *testing.B) {
 	}
 }
 
-// BenchmarkStageSimulate measures the profiling simulation.
+// BenchmarkStageSimulate measures bare simulation (profiling off) — the
+// raw interpreter hot path.
 func BenchmarkStageSimulate(b *testing.B) {
+	img := crcImage(b)
+	cfg := sim.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Execute(img, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageSimulateProfiled measures the profiling simulation as the
+// partitioning flow runs it: dense instruction and edge counters plus the
+// map-shaped Profile conversion at run end.
+func BenchmarkStageSimulateProfiled(b *testing.B) {
 	img := crcImage(b)
 	cfg := sim.DefaultConfig()
 	cfg.Profile = true
@@ -163,6 +179,65 @@ func BenchmarkStageSimulate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Execute(img, cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageSimulateReference runs the same profiled workload through
+// the original per-instruction stepper, keeping the fast path's win
+// visible in every bench run.
+func BenchmarkStageSimulateReference(b *testing.B) {
+	img := crcImage(b)
+	cfg := sim.DefaultConfig()
+	cfg.Profile = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ExecuteReference(img, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimMemory isolates the simulator's memory path on a
+// store/load-heavy kernel: a 1024-word buffer swept 64 times with a
+// store, a reload, and an accumulate per element.
+func BenchmarkSimMemory(b *testing.B) {
+	words, err := mips.AssembleWords(`
+		lui   $t0, 0x1000        # buffer base
+		li    $t3, 64            # outer sweeps
+	outer:
+		addu  $t1, $t0, $zero
+		li    $t2, 1024          # words per sweep
+	inner:
+		sw    $t2, 0($t1)
+		lw    $t4, 0($t1)
+		addu  $t5, $t5, $t4
+		addiu $t1, $t1, 4
+		addiu $t2, $t2, -1
+		bgtz  $t2, inner
+		addiu $t3, $t3, -1
+		bgtz  $t3, outer
+		addu  $v0, $t5, $zero
+		break
+	`, binimg.DefaultTextBase)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := &binimg.Image{
+		Entry:    binimg.DefaultTextBase,
+		TextBase: binimg.DefaultTextBase,
+		Text:     words,
+		DataBase: binimg.DefaultDataBase,
+	}
+	cfg := sim.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Execute(img, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Steps), "steps")
 		}
 	}
 }

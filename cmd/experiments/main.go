@@ -10,6 +10,8 @@
 //	experiments -j 8         # fan sweep points over 8 workers
 //	experiments -cachedir d  # persist the compile cache under d
 //	experiments -cachestats  # print per-stage cache counters to stderr
+//	experiments -cpuprofile p.out  # write a pprof CPU profile of the run
+//	experiments -memprofile m.out  # write a pprof heap profile at exit
 //
 // Tables are byte-identical at any -j: the executor reassembles rows in
 // submission order. The stage cache is shared by every experiment in one
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"binpart/internal/core"
 	"binpart/internal/exper"
@@ -35,7 +38,37 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "directory for the on-disk stage cache (empty: memory only)")
 	cacheStats := flag.Bool("cachestats", false, "print cache hit/miss/eviction counters to stderr")
 	noCache := flag.Bool("nocache", false, "disable the stage cache entirely")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	caches := core.NewCaches()
 	if *noCache {

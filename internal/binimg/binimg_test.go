@@ -150,3 +150,71 @@ func TestSectionBounds(t *testing.T) {
 		t.Error("InText bounds wrong")
 	}
 }
+
+func TestMemZeroValueReadsZero(t *testing.T) {
+	var m Mem
+	if got := m.ReadWord(DefaultDataBase); got != 0 {
+		t.Errorf("untouched word = 0x%x, want 0", got)
+	}
+	if got := m.Page(0)[0]; got != 0 {
+		t.Errorf("untouched byte = 0x%x, want 0", got)
+	}
+}
+
+func TestMemWordRoundTrip(t *testing.T) {
+	var m Mem
+	addrs := []uint32{0x1000, DefaultDataBase, DefaultStackTop - 4, 0xffff_fffc}
+	for i, addr := range addrs {
+		want := uint32(0xdead_0000 + i)
+		m.WriteWord(addr, want)
+		if got := m.ReadWord(addr); got != want {
+			t.Errorf("ReadWord(0x%x) = 0x%x, want 0x%x", addr, got, want)
+		}
+	}
+	// Little-endian layout through the page view.
+	m.WriteWord(0x2000, 0x0403_0201)
+	p := m.Page(0x2000)
+	for i, want := range []byte{1, 2, 3, 4} {
+		if p[i] != want {
+			t.Errorf("byte %d = %d, want %d", i, p[i], want)
+		}
+	}
+}
+
+func TestMemCrossPageWord(t *testing.T) {
+	var m Mem
+	addr := uint32(PageSize - 2) // spans the page 0 / page 1 boundary
+	m.WriteWord(addr, 0x8765_4321)
+	if got := m.ReadWord(addr); got != 0x8765_4321 {
+		t.Errorf("cross-page word = 0x%x", got)
+	}
+	if got := m.Page(PageSize)[0]; got != 0x65 {
+		t.Errorf("second-page byte = 0x%x, want 0x65", got)
+	}
+}
+
+func TestMemWriteBytesSpansPages(t *testing.T) {
+	var m Mem
+	b := make([]byte, 3*PageSize)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	base := uint32(DefaultDataBase + 100)
+	m.WriteBytes(base, b)
+	for _, i := range []int{0, 1, PageSize - 1, PageSize, 2*PageSize + 5, len(b) - 1} {
+		addr := base + uint32(i)
+		if got := m.Page(addr)[addr&PageMask]; got != b[i] {
+			t.Errorf("byte %d = 0x%x, want 0x%x", i, got, b[i])
+		}
+	}
+}
+
+func TestMemLastPageCacheAliasesDirectory(t *testing.T) {
+	var m Mem
+	p1 := m.Page(0x5000)
+	p1[0] = 42
+	m.Page(0x9000) // evict the last-page cache
+	if got := m.Page(0x5000)[0]; got != 42 {
+		t.Errorf("page content lost across cache eviction: %d", got)
+	}
+}

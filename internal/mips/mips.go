@@ -192,6 +192,43 @@ type Inst struct {
 	Target uint32
 }
 
+// CostClass buckets opcodes by their cycle-model class. The simulator's
+// CycleModel assigns one cost per class; the fast interpreter predecodes
+// the class into a per-instruction cost, and cycle attribution uses the
+// same classification so both agree by construction.
+type CostClass uint8
+
+// Cost classes, mirroring sim.CycleModel's fields. Branches carry two
+// costs (taken/not-taken) and are resolved at execution time.
+const (
+	CostALU CostClass = iota
+	CostLoad
+	CostStore
+	CostBranch
+	CostJump
+	CostMult
+	CostDiv
+)
+
+// Cost returns the instruction class under the cycle model.
+func (o Op) Cost() CostClass {
+	switch o {
+	case LB, LBU, LH, LHU, LW:
+		return CostLoad
+	case SB, SH, SW:
+		return CostStore
+	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ:
+		return CostBranch
+	case J, JAL, JR, JALR:
+		return CostJump
+	case MULT, MULTU:
+		return CostMult
+	case DIV, DIVU:
+		return CostDiv
+	}
+	return CostALU
+}
+
 // IsBranch reports whether the instruction is a conditional branch.
 func (i Inst) IsBranch() bool {
 	switch i.Op {

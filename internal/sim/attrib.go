@@ -28,23 +28,25 @@ func AttributeCycles(img *binimg.Image, prof *Profile, cm CycleModel) map[uint32
 		if err != nil {
 			continue
 		}
+		// The class comes from the same decode metadata the interpreter
+		// predecodes from, so attribution and execution always agree.
 		var cycles uint64
-		switch {
-		case in.IsBranch():
+		switch in.Op.Cost() {
+		case mips.CostBranch:
 			taken := takenFrom[pc]
 			if taken > count {
 				taken = count
 			}
 			cycles = taken*cm.BranchTaken + (count-taken)*cm.BranchNot
-		case in.IsJump():
+		case mips.CostJump:
 			cycles = count * cm.Jump
-		case in.IsLoad():
+		case mips.CostLoad:
 			cycles = count * cm.Load
-		case in.IsStore():
+		case mips.CostStore:
 			cycles = count * cm.Store
-		case in.Op == mips.MULT || in.Op == mips.MULTU:
+		case mips.CostMult:
 			cycles = count * cm.Mult
-		case in.Op == mips.DIV || in.Op == mips.DIVU:
+		case mips.CostDiv:
 			cycles = count * cm.Div
 		default:
 			cycles = count * cm.ALU

@@ -4,9 +4,22 @@
 // times come from instruction counts weighted by a published-CPI-style
 // cost model, and the profiler's per-address and per-edge counts drive the
 // partitioner's "most frequent loops" step.
+//
+// Machine.Run is a fast-path interpreter: text is predecoded into a
+// per-instruction record carrying operands, precomputed immediates,
+// static control-transfer targets, and the instruction's cycle cost;
+// execution dispatches over basic-block runs discovered at decode time so
+// the PC-validity and step-limit checks are amortized per block; memory
+// is a sparse two-level page directory with direct little-endian word
+// accesses (binimg.Mem); and profile counters are dense slices indexed by
+// text position, converted to the map-shaped Profile only when a run
+// completes. The original per-instruction stepper is preserved in
+// reference.go (ExecuteReference) and the differential tests assert both
+// produce identical Steps, Cycles, ExitCode, and profile maps.
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"binpart/internal/binimg"
@@ -76,367 +89,583 @@ type Result struct {
 	Profile  *Profile
 }
 
-// Machine is a MIPS machine instance. Create with New, execute with Run.
-type Machine struct {
-	cfg   Config
-	img   *binimg.Image
-	code  []mips.Inst // pre-decoded text
-	Regs  [32]uint32
-	HI    uint32
-	LO    uint32
-	PC    uint32
-	pages map[uint32][]byte
-	prof  *Profile
+// pinst is a predecoded instruction. Everything the hot loop needs per
+// step is resolved here once: register numbers as direct indices, the
+// immediate in both sign- and op-specific form, the absolute target of
+// static control transfers, the cycle-model cost of the instruction's
+// class, and — when profiling — the indices of this site's edge-counter
+// slots (-1 otherwise, so the hot loop needs no separate profiling test).
+type pinst struct {
+	op         mips.Op
+	rd, rs, rt uint8
+	imm        int32  // raw signed immediate (SLTI compare)
+	immU       uint32 // op-specific operand: sign- or zero-extended, or LUI-shifted
+	target     uint32 // absolute taken target for branches, J, JAL
+	cost       uint64 // predecoded cycle cost (branches resolve taken/not at run time)
+	edge       int32  // static-target edge slot (branch/J/JAL), -1 if none
+	jr         int32  // dynamic-target site (JR/JALR), -1 if none
 }
 
-const pageBits = 12
+// Machine is a MIPS machine instance. Create with New, execute with Run.
+type Machine struct {
+	cfg      Config
+	cm       CycleModel // cfg.Cycles with the default applied
+	img      *binimg.Image
+	code     []pinst
+	blockEnd []int32 // text index -> index of the block-terminating instruction
+	Regs     [32]uint32
+	HI       uint32
+	LO       uint32
+	PC       uint32
+	mem      binimg.Mem
+
+	// Dense profile counters, allocated only when cfg.Profile is set.
+	// instCount is indexed by text position; edge counters live in flat
+	// slots handed out per control-transfer site at predecode time, with
+	// JR/JALR sites owning a small per-site target map since their
+	// targets are dynamic. buildProfile converts all of this back to the
+	// map-shaped Profile at run end.
+	instCount []uint64
+	edgeCount []uint64
+	edgeFrom  []uint32
+	edgeTo    []uint32
+	jrFrom    []uint32
+	jrEdges   []map[uint32]uint64
+}
 
 // New loads an image into a fresh machine.
 func New(img *binimg.Image, cfg Config) (*Machine, error) {
-	m := &Machine{cfg: cfg, img: img, pages: make(map[uint32][]byte)}
-	m.code = make([]mips.Inst, len(img.Text))
+	m := &Machine{cfg: cfg, img: img}
+	m.cm = cfg.Cycles
+	if m.cm == (CycleModel{}) {
+		m.cm = DefaultCycleModel
+	}
+	if cfg.Profile {
+		m.instCount = make([]uint64, len(img.Text))
+	}
+	m.code = make([]pinst, len(img.Text))
 	for i, w := range img.Text {
 		in, err := mips.Decode(w)
 		if err != nil {
 			return nil, fmt.Errorf("sim: text word %d: %w", i, err)
 		}
-		m.code[i] = in
+		m.code[i] = m.predecode(in, img.TextBase+uint32(4*i))
 	}
-	for i, b := range img.Data {
-		m.storeByte(img.DataBase+uint32(i), b)
+	m.blockEnd = make([]int32, len(m.code))
+	end := int32(len(m.code)) - 1
+	for i := len(m.code) - 1; i >= 0; i-- {
+		switch m.code[i].op {
+		case mips.BEQ, mips.BNE, mips.BLEZ, mips.BGTZ, mips.BLTZ, mips.BGEZ,
+			mips.J, mips.JAL, mips.JR, mips.JALR, mips.BREAK:
+			end = int32(i)
+		}
+		m.blockEnd[i] = end
 	}
+	m.mem.WriteBytes(img.DataBase, img.Data)
 	m.PC = img.Entry
 	m.Regs[mips.SP] = cfg.StackTop
-	if cfg.Profile {
-		m.prof = &Profile{
-			InstCount: make(map[uint32]uint64),
-			EdgeCount: make(map[Edge]uint64),
-		}
-	}
 	return m, nil
 }
 
-func (m *Machine) page(addr uint32) []byte {
-	pn := addr >> pageBits
-	p, ok := m.pages[pn]
-	if !ok {
-		p = make([]byte, 1<<pageBits)
-		m.pages[pn] = p
+// predecode resolves one instruction at address pc into its hot-loop
+// record and, when profiling, allocates the site's edge-counter slot.
+func (m *Machine) predecode(in mips.Inst, pc uint32) pinst {
+	p := pinst{
+		op: in.Op,
+		rd: uint8(in.Rd), rs: uint8(in.Rs), rt: uint8(in.Rt),
+		imm: in.Imm, immU: uint32(in.Imm),
+		edge: -1, jr: -1,
+	}
+	switch in.Op {
+	case mips.ANDI, mips.ORI, mips.XORI:
+		p.immU = uint32(uint16(in.Imm))
+	case mips.LUI:
+		p.immU = uint32(in.Imm) << 16
+	}
+	switch in.Op.Cost() {
+	case mips.CostLoad:
+		p.cost = m.cm.Load
+	case mips.CostStore:
+		p.cost = m.cm.Store
+	case mips.CostJump:
+		p.cost = m.cm.Jump
+	case mips.CostMult:
+		p.cost = m.cm.Mult
+	case mips.CostDiv:
+		p.cost = m.cm.Div
+	case mips.CostBranch:
+		// taken/not-taken resolved in the hot loop
+	default:
+		p.cost = m.cm.ALU
+	}
+	switch {
+	case in.IsBranch():
+		p.target = pc + 4 + uint32(in.Imm)*4
+	case in.Op == mips.J || in.Op == mips.JAL:
+		p.target = in.Target
+	}
+	if m.instCount != nil {
+		switch {
+		case in.IsBranch(), in.Op == mips.J, in.Op == mips.JAL:
+			p.edge = int32(len(m.edgeFrom))
+			m.edgeFrom = append(m.edgeFrom, pc)
+			m.edgeTo = append(m.edgeTo, p.target)
+			m.edgeCount = append(m.edgeCount, 0)
+		case in.Op == mips.JR, in.Op == mips.JALR:
+			p.jr = int32(len(m.jrFrom))
+			m.jrFrom = append(m.jrFrom, pc)
+			m.jrEdges = append(m.jrEdges, nil)
+		}
 	}
 	return p
 }
 
-func (m *Machine) storeByte(addr uint32, b byte) {
-	m.page(addr)[addr&(1<<pageBits-1)] = b
-}
-
-func (m *Machine) loadByte(addr uint32) byte {
-	return m.page(addr)[addr&(1<<pageBits-1)]
+// buildProfile converts the dense counters back to the map-shaped
+// Profile consumed by the partitioner and cycle attribution.
+func (m *Machine) buildProfile() *Profile {
+	if m.instCount == nil {
+		return nil
+	}
+	nInst, nEdge := 0, 0
+	for _, c := range m.instCount {
+		if c != 0 {
+			nInst++
+		}
+	}
+	for _, c := range m.edgeCount {
+		if c != 0 {
+			nEdge++
+		}
+	}
+	p := &Profile{
+		InstCount: make(map[uint32]uint64, nInst),
+		EdgeCount: make(map[Edge]uint64, nEdge),
+	}
+	tb := m.img.TextBase
+	for i, c := range m.instCount {
+		if c != 0 {
+			p.InstCount[tb+uint32(4*i)] = c
+		}
+	}
+	for s, c := range m.edgeCount {
+		if c != 0 {
+			p.EdgeCount[Edge{From: m.edgeFrom[s], To: m.edgeTo[s]}] += c
+		}
+	}
+	for s, targets := range m.jrEdges {
+		for to, c := range targets {
+			p.EdgeCount[Edge{From: m.jrFrom[s], To: to}] += c
+		}
+	}
+	return p
 }
 
 // ReadWord returns the 32-bit little-endian word at addr (for tests and
 // result extraction).
-func (m *Machine) ReadWord(addr uint32) uint32 {
-	var v uint32
-	for i := uint32(0); i < 4; i++ {
-		v |= uint32(m.loadByte(addr+i)) << (8 * i)
-	}
-	return v
-}
+func (m *Machine) ReadWord(addr uint32) uint32 { return m.mem.ReadWord(addr) }
 
 // WriteWord stores a 32-bit little-endian word at addr.
-func (m *Machine) WriteWord(addr uint32, v uint32) {
-	for i := uint32(0); i < 4; i++ {
-		m.storeByte(addr+i, byte(v>>(8*i)))
-	}
-}
+func (m *Machine) WriteWord(addr uint32, v uint32) { m.mem.WriteWord(addr, v) }
 
-func (m *Machine) load(addr uint32, width int) (uint32, error) {
+// loadFault builds the error for a rejected load, preserving the
+// reference stepper's check order: near-null before misalignment.
+func loadFault(addr uint32, width int) error {
 	if addr < 0x1000 {
-		return 0, fmt.Errorf("sim: load from near-null address 0x%x", addr)
+		return fmt.Errorf("sim: load from near-null address 0x%x", addr)
 	}
-	if uint32(width) > 1 && addr%uint32(width) != 0 {
-		return 0, fmt.Errorf("sim: misaligned %d-byte load at 0x%x", width, addr)
-	}
-	var v uint32
-	for i := 0; i < width; i++ {
-		v |= uint32(m.loadByte(addr+uint32(i))) << (8 * i)
-	}
-	return v, nil
+	return fmt.Errorf("sim: misaligned %d-byte load at 0x%x", width, addr)
 }
 
-func (m *Machine) store(addr uint32, v uint32, width int) error {
+// storeFault builds the error for a rejected store: near-null, then
+// misalignment, then text-section protection.
+func storeFault(addr uint32, width int) error {
 	if addr < 0x1000 {
 		return fmt.Errorf("sim: store to near-null address 0x%x", addr)
 	}
-	if uint32(width) > 1 && addr%uint32(width) != 0 {
+	if width > 1 && addr%uint32(width) != 0 {
 		return fmt.Errorf("sim: misaligned %d-byte store at 0x%x", width, addr)
 	}
-	if m.img.InText(addr) {
-		return fmt.Errorf("sim: store into text section at 0x%x", addr)
-	}
-	for i := 0; i < width; i++ {
-		m.storeByte(addr+uint32(i), byte(v>>(8*i)))
-	}
-	return nil
+	return fmt.Errorf("sim: store into text section at 0x%x", addr)
+}
+
+// fail finalizes an erroring run: the machine PC is left at the faulting
+// instruction and the partial step/cycle counts are reported.
+func (m *Machine) fail(res *Result, steps, cycles uint64, pc uint32, err error) (Result, error) {
+	m.PC = pc
+	res.Steps, res.Cycles = steps, cycles
+	return *res, err
 }
 
 // Run executes until BREAK, an error, or the step limit.
+//
+// The outer loop walks basic blocks: it validates the entry PC and the
+// step budget once, then the inner loop retires straight-line
+// instructions up to the block's terminator with no per-instruction PC
+// or limit checks. Register writes are branch-free — the destination is
+// always written and $zero is re-zeroed — which is observably identical
+// to skipping writes to register 0.
 func (m *Machine) Run() (Result, error) {
 	var res Result
 	maxSteps := m.cfg.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = DefaultConfig().MaxSteps
 	}
-	cm := m.cfg.Cycles
-	if cm == (CycleModel{}) {
-		cm = DefaultCycleModel
+	cm := m.cm
+	code := m.code
+	blockEnd := m.blockEnd
+	regs := &m.Regs
+	textBase := m.img.TextBase
+	textEnd := m.img.TextEnd()
+	instCount := m.instCount
+	profile := instCount != nil
+	pc := m.PC
+	var steps, cycles uint64
+
+outer:
+	for {
+		if steps >= maxSteps {
+			return m.fail(&res, steps, cycles, pc,
+				fmt.Errorf("sim: step limit (%d) exceeded at PC 0x%x", maxSteps, pc))
+		}
+		if pc&3 != 0 || pc < textBase || pc >= textEnd {
+			return m.fail(&res, steps, cycles, pc,
+				fmt.Errorf("sim: PC 0x%x outside text", pc))
+		}
+		idx := int32((pc - textBase) >> 2)
+		end := blockEnd[idx]
+		limit := end
+		if n := uint64(end-idx) + 1; steps+n > maxSteps {
+			// Run only the remaining budget; the loop top then reports
+			// the step-limit error at the next unexecuted instruction,
+			// exactly like the per-instruction stepper.
+			limit = idx + int32(maxSteps-steps) - 1
+		}
+		for i := idx; i <= limit; i++ {
+			in := &code[i]
+			if profile {
+				instCount[i]++
+			}
+			steps++
+			switch in.op {
+			case mips.NOP:
+				cycles += in.cost
+			case mips.BREAK:
+				cycles += in.cost
+				m.PC = textBase + uint32(4*i)
+				res.Steps, res.Cycles = steps, cycles
+				res.ExitCode = int32(regs[mips.V0])
+				res.Profile = m.buildProfile()
+				return res, nil
+			case mips.ADD, mips.ADDU:
+				regs[in.rd&31] = regs[in.rs&31] + regs[in.rt&31]
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SUB, mips.SUBU:
+				regs[in.rd&31] = regs[in.rs&31] - regs[in.rt&31]
+				regs[0] = 0
+				cycles += in.cost
+			case mips.AND:
+				regs[in.rd&31] = regs[in.rs&31] & regs[in.rt&31]
+				regs[0] = 0
+				cycles += in.cost
+			case mips.OR:
+				regs[in.rd&31] = regs[in.rs&31] | regs[in.rt&31]
+				regs[0] = 0
+				cycles += in.cost
+			case mips.XOR:
+				regs[in.rd&31] = regs[in.rs&31] ^ regs[in.rt&31]
+				regs[0] = 0
+				cycles += in.cost
+			case mips.NOR:
+				regs[in.rd&31] = ^(regs[in.rs&31] | regs[in.rt&31])
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SLT:
+				regs[in.rd&31] = b2u(int32(regs[in.rs&31]) < int32(regs[in.rt&31]))
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SLTU:
+				regs[in.rd&31] = b2u(regs[in.rs&31] < regs[in.rt&31])
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SLL:
+				regs[in.rd&31] = regs[in.rt&31] << in.immU
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SRL:
+				regs[in.rd&31] = regs[in.rt&31] >> in.immU
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SRA:
+				regs[in.rd&31] = uint32(int32(regs[in.rt&31]) >> in.immU)
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SLLV:
+				regs[in.rd&31] = regs[in.rt&31] << (regs[in.rs&31] & 31)
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SRLV:
+				regs[in.rd&31] = regs[in.rt&31] >> (regs[in.rs&31] & 31)
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SRAV:
+				regs[in.rd&31] = uint32(int32(regs[in.rt&31]) >> (regs[in.rs&31] & 31))
+				regs[0] = 0
+				cycles += in.cost
+			case mips.MULT:
+				p := int64(int32(regs[in.rs&31])) * int64(int32(regs[in.rt&31]))
+				m.LO, m.HI = uint32(p), uint32(uint64(p)>>32)
+				cycles += in.cost
+			case mips.MULTU:
+				p := uint64(regs[in.rs&31]) * uint64(regs[in.rt&31])
+				m.LO, m.HI = uint32(p), uint32(p>>32)
+				cycles += in.cost
+			case mips.DIV:
+				rs, rt := regs[in.rs&31], regs[in.rt&31]
+				if rt == 0 {
+					m.LO, m.HI = 0, rs // architecturally undefined; pick stable values
+				} else if int32(rs) == -1<<31 && int32(rt) == -1 {
+					m.LO, m.HI = rs, 0
+				} else {
+					m.LO = uint32(int32(rs) / int32(rt))
+					m.HI = uint32(int32(rs) % int32(rt))
+				}
+				cycles += in.cost
+			case mips.DIVU:
+				rs, rt := regs[in.rs&31], regs[in.rt&31]
+				if rt == 0 {
+					m.LO, m.HI = 0, rs
+				} else {
+					m.LO, m.HI = rs/rt, rs%rt
+				}
+				cycles += in.cost
+			case mips.MFHI:
+				regs[in.rd&31] = m.HI
+				regs[0] = 0
+				cycles += in.cost
+			case mips.MFLO:
+				regs[in.rd&31] = m.LO
+				regs[0] = 0
+				cycles += in.cost
+			case mips.MTHI:
+				m.HI = regs[in.rs&31]
+				cycles += in.cost
+			case mips.MTLO:
+				m.LO = regs[in.rs&31]
+				cycles += in.cost
+			case mips.ADDI, mips.ADDIU:
+				regs[in.rt&31] = regs[in.rs&31] + in.immU
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SLTI:
+				regs[in.rt&31] = b2u(int32(regs[in.rs&31]) < in.imm)
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SLTIU:
+				regs[in.rt&31] = b2u(regs[in.rs&31] < in.immU)
+				regs[0] = 0
+				cycles += in.cost
+			case mips.ANDI:
+				regs[in.rt&31] = regs[in.rs&31] & in.immU
+				regs[0] = 0
+				cycles += in.cost
+			case mips.ORI:
+				regs[in.rt&31] = regs[in.rs&31] | in.immU
+				regs[0] = 0
+				cycles += in.cost
+			case mips.XORI:
+				regs[in.rt&31] = regs[in.rs&31] ^ in.immU
+				regs[0] = 0
+				cycles += in.cost
+			case mips.LUI:
+				regs[in.rt&31] = in.immU
+				regs[0] = 0
+				cycles += in.cost
+			case mips.LB:
+				addr := regs[in.rs&31] + in.immU
+				if addr < 0x1000 {
+					return m.fail(&res, steps, cycles, textBase+uint32(4*i), loadFault(addr, 1))
+				}
+				v := m.mem.Page(addr)[addr&binimg.PageMask]
+				regs[in.rt&31] = uint32(int32(int8(v)))
+				regs[0] = 0
+				cycles += in.cost
+			case mips.LBU:
+				addr := regs[in.rs&31] + in.immU
+				if addr < 0x1000 {
+					return m.fail(&res, steps, cycles, textBase+uint32(4*i), loadFault(addr, 1))
+				}
+				regs[in.rt&31] = uint32(m.mem.Page(addr)[addr&binimg.PageMask])
+				regs[0] = 0
+				cycles += in.cost
+			case mips.LH:
+				addr := regs[in.rs&31] + in.immU
+				if addr < 0x1000 || addr&1 != 0 {
+					return m.fail(&res, steps, cycles, textBase+uint32(4*i), loadFault(addr, 2))
+				}
+				v := binary.LittleEndian.Uint16(m.mem.Page(addr)[addr&binimg.PageMask:])
+				regs[in.rt&31] = uint32(int32(int16(v)))
+				regs[0] = 0
+				cycles += in.cost
+			case mips.LHU:
+				addr := regs[in.rs&31] + in.immU
+				if addr < 0x1000 || addr&1 != 0 {
+					return m.fail(&res, steps, cycles, textBase+uint32(4*i), loadFault(addr, 2))
+				}
+				regs[in.rt&31] = uint32(binary.LittleEndian.Uint16(m.mem.Page(addr)[addr&binimg.PageMask:]))
+				regs[0] = 0
+				cycles += in.cost
+			case mips.LW:
+				addr := regs[in.rs&31] + in.immU
+				if addr < 0x1000 || addr&3 != 0 {
+					return m.fail(&res, steps, cycles, textBase+uint32(4*i), loadFault(addr, 4))
+				}
+				regs[in.rt&31] = binary.LittleEndian.Uint32(m.mem.Page(addr)[addr&binimg.PageMask:])
+				regs[0] = 0
+				cycles += in.cost
+			case mips.SB:
+				addr := regs[in.rs&31] + in.immU
+				if addr < 0x1000 || (addr >= textBase && addr < textEnd) {
+					return m.fail(&res, steps, cycles, textBase+uint32(4*i), storeFault(addr, 1))
+				}
+				m.mem.Page(addr)[addr&binimg.PageMask] = byte(regs[in.rt&31])
+				cycles += in.cost
+			case mips.SH:
+				addr := regs[in.rs&31] + in.immU
+				if addr < 0x1000 || addr&1 != 0 || (addr >= textBase && addr < textEnd) {
+					return m.fail(&res, steps, cycles, textBase+uint32(4*i), storeFault(addr, 2))
+				}
+				binary.LittleEndian.PutUint16(m.mem.Page(addr)[addr&binimg.PageMask:], uint16(regs[in.rt&31]))
+				cycles += in.cost
+			case mips.SW:
+				addr := regs[in.rs&31] + in.immU
+				if addr < 0x1000 || addr&3 != 0 || (addr >= textBase && addr < textEnd) {
+					return m.fail(&res, steps, cycles, textBase+uint32(4*i), storeFault(addr, 4))
+				}
+				binary.LittleEndian.PutUint32(m.mem.Page(addr)[addr&binimg.PageMask:], regs[in.rt&31])
+				cycles += in.cost
+			case mips.BEQ:
+				if regs[in.rs&31] == regs[in.rt&31] {
+					cycles += cm.BranchTaken
+					if in.edge >= 0 {
+						m.edgeCount[in.edge]++
+					}
+					pc = in.target
+					continue outer
+				}
+				cycles += cm.BranchNot
+			case mips.BNE:
+				if regs[in.rs&31] != regs[in.rt&31] {
+					cycles += cm.BranchTaken
+					if in.edge >= 0 {
+						m.edgeCount[in.edge]++
+					}
+					pc = in.target
+					continue outer
+				}
+				cycles += cm.BranchNot
+			case mips.BLEZ:
+				if int32(regs[in.rs&31]) <= 0 {
+					cycles += cm.BranchTaken
+					if in.edge >= 0 {
+						m.edgeCount[in.edge]++
+					}
+					pc = in.target
+					continue outer
+				}
+				cycles += cm.BranchNot
+			case mips.BGTZ:
+				if int32(regs[in.rs&31]) > 0 {
+					cycles += cm.BranchTaken
+					if in.edge >= 0 {
+						m.edgeCount[in.edge]++
+					}
+					pc = in.target
+					continue outer
+				}
+				cycles += cm.BranchNot
+			case mips.BLTZ:
+				if int32(regs[in.rs&31]) < 0 {
+					cycles += cm.BranchTaken
+					if in.edge >= 0 {
+						m.edgeCount[in.edge]++
+					}
+					pc = in.target
+					continue outer
+				}
+				cycles += cm.BranchNot
+			case mips.BGEZ:
+				if int32(regs[in.rs&31]) >= 0 {
+					cycles += cm.BranchTaken
+					if in.edge >= 0 {
+						m.edgeCount[in.edge]++
+					}
+					pc = in.target
+					continue outer
+				}
+				cycles += cm.BranchNot
+			case mips.J:
+				cycles += in.cost
+				if in.edge >= 0 {
+					m.edgeCount[in.edge]++
+				}
+				pc = in.target
+				continue outer
+			case mips.JAL:
+				regs[mips.RA] = textBase + uint32(4*i) + 4
+				cycles += in.cost
+				if in.edge >= 0 {
+					m.edgeCount[in.edge]++
+				}
+				pc = in.target
+				continue outer
+			case mips.JR:
+				t := regs[in.rs&31]
+				cycles += in.cost
+				if t&3 != 0 || t < textBase || t >= textEnd {
+					here := textBase + uint32(4*i)
+					return m.fail(&res, steps, cycles, here,
+						fmt.Errorf("sim: jr at 0x%x: jump target 0x%x outside text", here, t))
+				}
+				if in.jr >= 0 {
+					m.recordDynEdge(in.jr, t)
+				}
+				pc = t
+				continue outer
+			case mips.JALR:
+				t := regs[in.rs&31]
+				regs[in.rd&31] = textBase + uint32(4*i) + 4
+				regs[0] = 0
+				cycles += in.cost
+				if t&3 != 0 || t < textBase || t >= textEnd {
+					here := textBase + uint32(4*i)
+					return m.fail(&res, steps, cycles, here,
+						fmt.Errorf("sim: jalr at 0x%x: jump target 0x%x outside text", here, t))
+				}
+				if in.jr >= 0 {
+					m.recordDynEdge(in.jr, t)
+				}
+				pc = t
+				continue outer
+			default:
+				return m.fail(&res, steps, cycles, textBase+uint32(4*i),
+					fmt.Errorf("sim: unimplemented op %v at 0x%x", in.op, textBase+uint32(4*i)))
+			}
+		}
+		// The block fell through: either a not-taken branch, a block that
+		// runs off the end of text, or a step-budget-limited prefix.
+		pc = textBase + uint32(4*(limit+1))
 	}
-	for res.Steps < maxSteps {
-		if !m.img.InText(m.PC) || m.PC%4 != 0 {
-			return res, fmt.Errorf("sim: PC 0x%x outside text", m.PC)
-		}
-		idx := (m.PC - m.img.TextBase) / 4
-		in := m.code[idx]
-		if m.prof != nil {
-			m.prof.InstCount[m.PC]++
-		}
-		res.Steps++
+}
 
-		next := m.PC + 4
-		taken := uint32(0)
-		hasTarget := false
-
-		rs := m.Regs[in.Rs]
-		rt := m.Regs[in.Rt]
-		setRd := func(v uint32) {
-			if in.Rd != 0 {
-				m.Regs[in.Rd] = v
-			}
-		}
-		setRt := func(v uint32) {
-			if in.Rt != 0 {
-				m.Regs[in.Rt] = v
-			}
-		}
-
-		switch in.Op {
-		case mips.NOP:
-			res.Cycles += cm.ALU
-		case mips.BREAK:
-			res.Cycles += cm.ALU
-			res.ExitCode = int32(m.Regs[mips.V0])
-			res.Profile = m.prof
-			return res, nil
-		case mips.ADD, mips.ADDU:
-			setRd(rs + rt)
-			res.Cycles += cm.ALU
-		case mips.SUB, mips.SUBU:
-			setRd(rs - rt)
-			res.Cycles += cm.ALU
-		case mips.AND:
-			setRd(rs & rt)
-			res.Cycles += cm.ALU
-		case mips.OR:
-			setRd(rs | rt)
-			res.Cycles += cm.ALU
-		case mips.XOR:
-			setRd(rs ^ rt)
-			res.Cycles += cm.ALU
-		case mips.NOR:
-			setRd(^(rs | rt))
-			res.Cycles += cm.ALU
-		case mips.SLT:
-			setRd(b2u(int32(rs) < int32(rt)))
-			res.Cycles += cm.ALU
-		case mips.SLTU:
-			setRd(b2u(rs < rt))
-			res.Cycles += cm.ALU
-		case mips.SLL:
-			setRd(rt << uint32(in.Imm))
-			res.Cycles += cm.ALU
-		case mips.SRL:
-			setRd(rt >> uint32(in.Imm))
-			res.Cycles += cm.ALU
-		case mips.SRA:
-			setRd(uint32(int32(rt) >> uint32(in.Imm)))
-			res.Cycles += cm.ALU
-		case mips.SLLV:
-			setRd(rt << (rs & 31))
-			res.Cycles += cm.ALU
-		case mips.SRLV:
-			setRd(rt >> (rs & 31))
-			res.Cycles += cm.ALU
-		case mips.SRAV:
-			setRd(uint32(int32(rt) >> (rs & 31)))
-			res.Cycles += cm.ALU
-		case mips.MULT:
-			p := int64(int32(rs)) * int64(int32(rt))
-			m.LO, m.HI = uint32(p), uint32(uint64(p)>>32)
-			res.Cycles += cm.Mult
-		case mips.MULTU:
-			p := uint64(rs) * uint64(rt)
-			m.LO, m.HI = uint32(p), uint32(p>>32)
-			res.Cycles += cm.Mult
-		case mips.DIV:
-			if rt == 0 {
-				m.LO, m.HI = 0, rs // architecturally undefined; pick stable values
-			} else if int32(rs) == -1<<31 && int32(rt) == -1 {
-				m.LO, m.HI = rs, 0
-			} else {
-				m.LO = uint32(int32(rs) / int32(rt))
-				m.HI = uint32(int32(rs) % int32(rt))
-			}
-			res.Cycles += cm.Div
-		case mips.DIVU:
-			if rt == 0 {
-				m.LO, m.HI = 0, rs
-			} else {
-				m.LO, m.HI = rs/rt, rs%rt
-			}
-			res.Cycles += cm.Div
-		case mips.MFHI:
-			setRd(m.HI)
-			res.Cycles += cm.ALU
-		case mips.MFLO:
-			setRd(m.LO)
-			res.Cycles += cm.ALU
-		case mips.MTHI:
-			m.HI = rs
-			res.Cycles += cm.ALU
-		case mips.MTLO:
-			m.LO = rs
-			res.Cycles += cm.ALU
-		case mips.ADDI, mips.ADDIU:
-			setRt(rs + uint32(in.Imm))
-			res.Cycles += cm.ALU
-		case mips.SLTI:
-			setRt(b2u(int32(rs) < in.Imm))
-			res.Cycles += cm.ALU
-		case mips.SLTIU:
-			setRt(b2u(rs < uint32(in.Imm)))
-			res.Cycles += cm.ALU
-		case mips.ANDI:
-			setRt(rs & uint32(uint16(in.Imm)))
-			res.Cycles += cm.ALU
-		case mips.ORI:
-			setRt(rs | uint32(uint16(in.Imm)))
-			res.Cycles += cm.ALU
-		case mips.XORI:
-			setRt(rs ^ uint32(uint16(in.Imm)))
-			res.Cycles += cm.ALU
-		case mips.LUI:
-			setRt(uint32(in.Imm) << 16)
-			res.Cycles += cm.ALU
-		case mips.LB:
-			v, err := m.load(rs+uint32(in.Imm), 1)
-			if err != nil {
-				return res, err
-			}
-			setRt(uint32(int32(int8(v))))
-			res.Cycles += cm.Load
-		case mips.LBU:
-			v, err := m.load(rs+uint32(in.Imm), 1)
-			if err != nil {
-				return res, err
-			}
-			setRt(v)
-			res.Cycles += cm.Load
-		case mips.LH:
-			v, err := m.load(rs+uint32(in.Imm), 2)
-			if err != nil {
-				return res, err
-			}
-			setRt(uint32(int32(int16(v))))
-			res.Cycles += cm.Load
-		case mips.LHU:
-			v, err := m.load(rs+uint32(in.Imm), 2)
-			if err != nil {
-				return res, err
-			}
-			setRt(v)
-			res.Cycles += cm.Load
-		case mips.LW:
-			v, err := m.load(rs+uint32(in.Imm), 4)
-			if err != nil {
-				return res, err
-			}
-			setRt(v)
-			res.Cycles += cm.Load
-		case mips.SB:
-			if err := m.store(rs+uint32(in.Imm), rt, 1); err != nil {
-				return res, err
-			}
-			res.Cycles += cm.Store
-		case mips.SH:
-			if err := m.store(rs+uint32(in.Imm), rt, 2); err != nil {
-				return res, err
-			}
-			res.Cycles += cm.Store
-		case mips.SW:
-			if err := m.store(rs+uint32(in.Imm), rt, 4); err != nil {
-				return res, err
-			}
-			res.Cycles += cm.Store
-		case mips.BEQ:
-			if rs == rt {
-				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
-			}
-		case mips.BNE:
-			if rs != rt {
-				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
-			}
-		case mips.BLEZ:
-			if int32(rs) <= 0 {
-				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
-			}
-		case mips.BGTZ:
-			if int32(rs) > 0 {
-				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
-			}
-		case mips.BLTZ:
-			if int32(rs) < 0 {
-				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
-			}
-		case mips.BGEZ:
-			if int32(rs) >= 0 {
-				taken, hasTarget = m.PC+4+uint32(in.Imm)*4, true
-			}
-		case mips.J:
-			taken, hasTarget = in.Target, true
-			res.Cycles += cm.Jump
-		case mips.JAL:
-			m.Regs[mips.RA] = m.PC + 4
-			taken, hasTarget = in.Target, true
-			res.Cycles += cm.Jump
-		case mips.JR:
-			taken, hasTarget = rs, true
-			res.Cycles += cm.Jump
-		case mips.JALR:
-			setRd(m.PC + 4)
-			taken, hasTarget = rs, true
-			res.Cycles += cm.Jump
-		default:
-			return res, fmt.Errorf("sim: unimplemented op %v at 0x%x", in.Op, m.PC)
-		}
-
-		if in.IsBranch() {
-			if hasTarget {
-				res.Cycles += cm.BranchTaken
-			} else {
-				res.Cycles += cm.BranchNot
-			}
-		}
-		if hasTarget {
-			if m.prof != nil {
-				m.prof.EdgeCount[Edge{From: m.PC, To: taken}]++
-			}
-			m.PC = taken
-		} else {
-			m.PC = next
-		}
+// recordDynEdge counts one taken dynamic-target transfer (JR/JALR).
+func (m *Machine) recordDynEdge(site int32, to uint32) {
+	targets := m.jrEdges[site]
+	if targets == nil {
+		targets = make(map[uint32]uint64)
+		m.jrEdges[site] = targets
 	}
-	return res, fmt.Errorf("sim: step limit (%d) exceeded at PC 0x%x", maxSteps, m.PC)
+	targets[to]++
 }
 
 func b2u(b bool) uint32 {

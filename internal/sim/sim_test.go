@@ -238,6 +238,49 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+func TestIndirectJumpTargetErrors(t *testing.T) {
+	// A jr to a misaligned or out-of-text target must name the faulting
+	// jump instruction, not fail later with a bare "PC outside text".
+	_, err := Execute(asmImage(t, `
+		lui $t0, 1
+		ori $t0, $t0, 0x2345
+		jr $t0
+		break
+	`), DefaultConfig())
+	if err == nil || !strings.Contains(err.Error(), "jr at 0x400008") ||
+		!strings.Contains(err.Error(), "0x12345") {
+		t.Errorf("misaligned jr target: err = %v", err)
+	}
+
+	_, err = Execute(asmImage(t, "jr $zero\n break"), DefaultConfig())
+	if err == nil || !strings.Contains(err.Error(), "jr at 0x400000") {
+		t.Errorf("out-of-text jr target: err = %v", err)
+	}
+
+	_, err = Execute(asmImage(t, "jalr $t0, $zero\n break"), DefaultConfig())
+	if err == nil || !strings.Contains(err.Error(), "jalr at 0x400000") {
+		t.Errorf("out-of-text jalr target: err = %v", err)
+	}
+}
+
+func TestBranchIntoMidBlock(t *testing.T) {
+	// A branch targeting the middle of a straight-line run must execute
+	// from the landing instruction onward (block dispatch re-enters the
+	// block at an interior index).
+	res := run(t, `
+		li $v0, 0
+		j mid
+		addiu $v0, $v0, 100
+	mid:
+		addiu $v0, $v0, 1
+		addiu $v0, $v0, 2
+		break
+	`)
+	if res.ExitCode != 3 {
+		t.Errorf("mid-block entry = %d, want 3", res.ExitCode)
+	}
+}
+
 func TestZeroRegisterImmutable(t *testing.T) {
 	res := run(t, `
 		li $t0, 5
