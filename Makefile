@@ -24,9 +24,13 @@ check: vet build test race
 
 # Runs every benchmark and distills the results (per-stage ns/op plus the
 # T1 headline custom metrics) into BENCH.json via cmd/benchjson. The text
-# output still streams to the terminal.
+# output still streams to the terminal. The committed BENCH.json is
+# snapshotted first and used as the regression baseline: a >10% Stage*
+# regression fails the target (allocs/op always; ns/op only on the same CPU).
 bench:
-	$(GO) test -run NONE -bench . -benchmem . | $(GO) run ./cmd/benchjson -o BENCH.json
+	@if [ -f BENCH.json ]; then cp BENCH.json .bench-baseline.json; fi
+	$(GO) test -run NONE -bench . -benchmem . | $(GO) run ./cmd/benchjson -o BENCH.json -baseline .bench-baseline.json
+	@rm -f .bench-baseline.json
 
 experiments:
 	$(GO) run ./cmd/experiments -j 8 -cachestats

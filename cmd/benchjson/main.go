@@ -8,6 +8,13 @@
 // Usage:
 //
 //	go test -run NONE -bench . -benchmem . | benchjson -o BENCH.json
+//	go test -run NONE -bench . -benchmem . | benchjson -o BENCH.json -baseline old.json
+//
+// With -baseline, the new results are diffed against a previous
+// BENCH.json and the run fails (exit 1) if any Stage* benchmark regressed
+// by more than 10%: allocs/op is gated unconditionally (it is exact and
+// machine-independent), ns/op only when the baseline was recorded on the
+// same CPU. This is the perf ratchet `make bench` and CI run.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -43,6 +51,7 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "BENCH.json", "output path for the JSON report")
+	baseline := flag.String("baseline", "", "previous BENCH.json to diff against; >10% Stage* regressions fail the run")
 	flag.Parse()
 
 	rep := Report{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
@@ -74,6 +83,81 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+
+	if *baseline != "" {
+		old, err := readReport(*baseline)
+		if err != nil {
+			// A first run has no baseline; report and carry on so `make
+			// bench` works on a fresh checkout.
+			fmt.Fprintf(os.Stderr, "benchjson: no usable baseline: %v\n", err)
+			return
+		}
+		regressions := diffReports(os.Stderr, old, rep)
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", r)
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// regressLimit is the fractional slowdown tolerated before a Stage*
+// benchmark fails the baseline gate.
+const regressLimit = 0.10
+
+// diffReports prints a per-benchmark comparison and returns the gate
+// violations: Stage* benchmarks more than regressLimit worse than the
+// baseline on allocs/op (always) or ns/op (only when both reports were
+// recorded on the same CPU, since wall-clock does not transfer across
+// machines).
+func diffReports(w io.Writer, old, cur Report) []string {
+	cpuMatch := old.CPU != "" && old.CPU == cur.CPU
+	base := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		base[b.Name] = b
+	}
+	fmt.Fprintf(w, "benchjson: baseline diff (ns/op gate %s: cpu %q vs %q)\n",
+		map[bool]string{true: "on", false: "off"}[cpuMatch], old.CPU, cur.CPU)
+
+	var regressions []string
+	for _, b := range cur.Benchmarks {
+		ob, ok := base[b.Name]
+		if !ok {
+			continue
+		}
+		gated := strings.HasPrefix(b.Name, "Stage")
+		for _, unit := range []string{"ns/op", "allocs/op"} {
+			nv, haveNew := b.Metrics[unit]
+			ov, haveOld := ob.Metrics[unit]
+			if !haveNew || !haveOld || ov == 0 {
+				continue
+			}
+			delta := nv/ov - 1
+			fmt.Fprintf(w, "  %-28s %-9s %12.0f -> %12.0f  %+6.1f%%\n", b.Name, unit, ov, nv, 100*delta)
+			if !gated || delta <= regressLimit {
+				continue
+			}
+			if unit == "ns/op" && !cpuMatch {
+				continue
+			}
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s %+.1f%% (limit %+.0f%%)", b.Name, unit, 100*delta, 100*regressLimit))
+		}
+	}
+	return regressions
 }
 
 // parseBenchLine parses one result line of the form

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func report(cpu string, benches ...Benchmark) Report {
+	return Report{Go: "go1.24", GOOS: "linux", GOARCH: "amd64", CPU: cpu, Benchmarks: benches}
+}
+
+func bench(name string, nsOp, allocsOp float64) Benchmark {
+	return Benchmark{Name: name, N: 100, Metrics: map[string]float64{"ns/op": nsOp, "allocs/op": allocsOp}}
+}
+
+func TestDiffReportsGatesStageAllocs(t *testing.T) {
+	old := report("cpuA", bench("StageCompile", 1000, 100))
+	cur := report("cpuB", bench("StageCompile", 5000, 120)) // +20% allocs, different CPU
+	regs := diffReports(io.Discard, old, cur)
+	if len(regs) != 1 {
+		t.Fatalf("want 1 regression, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "StageCompile allocs/op") {
+		t.Fatalf("unexpected regression: %q", regs[0])
+	}
+}
+
+func TestDiffReportsNsGateNeedsCPUMatch(t *testing.T) {
+	old := report("cpuA", bench("StageDopt", 1000, 100))
+	slow := report("cpuA", bench("StageDopt", 1200, 100)) // +20% ns/op, same CPU
+	if regs := diffReports(io.Discard, old, slow); len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("same-CPU ns/op regression not caught: %v", regs)
+	}
+	other := report("cpuB", bench("StageDopt", 1200, 100)) // same slowdown, other machine
+	if regs := diffReports(io.Discard, old, other); len(regs) != 0 {
+		t.Fatalf("cross-CPU ns/op should not gate: %v", regs)
+	}
+}
+
+func TestDiffReportsIgnoresUngatedAndTolerated(t *testing.T) {
+	old := report("cpuA",
+		bench("StageSim", 1000, 100),
+		bench("Figure1AreaSweep", 1000, 100))
+	cur := report("cpuA",
+		bench("StageSim", 1050, 105),        // within 10%
+		bench("Figure1AreaSweep", 9000, 900), // regressed but not Stage*
+	)
+	if regs := diffReports(io.Discard, old, cur); len(regs) != 0 {
+		t.Fatalf("want no regressions, got %v", regs)
+	}
+}
+
+func TestParseBenchLineRoundTrip(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkStageCompile-8   1406   807229 ns/op   1779 allocs/op")
+	if !ok || b.Name != "StageCompile" || b.Metrics["allocs/op"] != 1779 {
+		t.Fatalf("parse failed: %+v ok=%v", b, ok)
+	}
+}

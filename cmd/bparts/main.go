@@ -7,10 +7,16 @@
 //
 //	bparts [-mhz 200] [-device XC2V2000] [-alg 90-10|greedy|gclp]
 //	       [-j N] [-cachedir dir] [-vhdl dir] program.sbf...
+//	bparts -sweep devices program.sbf...   # area sweep over the Virtex-II catalog
+//	bparts -sweep clocks  program.sbf...   # CPU clock sweep (see -clocks)
 //
 // With several inputs the flows run concurrently over -j workers sharing
 // one stage cache (identical binaries lift once); reports print in
 // argument order regardless of completion order.
+//
+// The sweep modes analyze each binary once (profile, decompile,
+// synthesize) and price every sweep point with core.Evaluate, so a
+// full-catalog sweep costs barely more than a single run.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -41,6 +48,8 @@ func main() {
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size when partitioning several binaries")
 	cacheDir := flag.String("cachedir", "", "directory for the on-disk stage cache (empty: memory only)")
 	cacheStats := flag.Bool("cachestats", false, "print cache hit/miss/eviction counters to stderr")
+	sweep := flag.String("sweep", "", "sweep mode: devices (Virtex-II catalog) or clocks (see -clocks)")
+	clockList := flag.String("clocks", "40,100,200,400", "CPU clocks in MHz for -sweep clocks")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: bparts [flags] program.sbf...")
@@ -68,6 +77,21 @@ func main() {
 	}
 	opts.RecoverJumpTables = *jumpTables
 
+	var clocks []float64
+	switch *sweep {
+	case "", "devices":
+	case "clocks":
+		for _, s := range strings.Split(*clockList, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				fatal(fmt.Errorf("bad -clocks entry %q", s))
+			}
+			clocks = append(clocks, v)
+		}
+	default:
+		fatal(fmt.Errorf("unknown sweep mode %q (want devices or clocks)", *sweep))
+	}
+
 	caches := core.NewCaches()
 	if *cacheDir != "" {
 		if _, err := caches.WithDisk(*cacheDir); err != nil {
@@ -92,7 +116,11 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range jobCh {
-				outputs[i], errs[i] = partitionOne(paths[i], opts, caches, *structure, *vhdlDir, len(paths) > 1)
+				if *sweep != "" {
+					outputs[i], errs[i] = sweepOne(paths[i], opts, caches, *sweep, clocks, len(paths) > 1)
+				} else {
+					outputs[i], errs[i] = partitionOne(paths[i], opts, caches, *structure, *vhdlDir, len(paths) > 1)
+				}
 			}
 		}()
 	}
@@ -114,6 +142,49 @@ func main() {
 	if *cacheStats {
 		fmt.Fprint(os.Stderr, caches.StatsString())
 	}
+}
+
+// sweepOne analyzes one binary once and prices every sweep point with
+// core.Evaluate.
+func sweepOne(path string, opts core.Options, caches *core.Caches,
+	mode string, clocks []float64, multi bool) (string, error) {
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	img, err := binimg.Unmarshal(data)
+	if err != nil {
+		return "", err
+	}
+	a, err := core.AnalyzeWith(img, opts, caches)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	if multi {
+		fmt.Fprintf(&b, "==> %s\n", path)
+	}
+	line := func(label string, rep *core.Report) {
+		m := rep.Metrics
+		fmt.Fprintf(&b, "  %-10s speedup %6.2fx  kernel %6.2fx  energy %5.1f%%  area %7d gates  selected %d\n",
+			label, m.AppSpeedup, m.KernelSpeedup, 100*m.EnergySavings, m.AreaGates, len(rep.SelectedRegions()))
+	}
+	switch mode {
+	case "devices":
+		fmt.Fprintf(&b, "area sweep (%s @ %.0f MHz, %s):\n", opts.Algorithm, opts.Platform.CPUMHz, "Virtex-II catalog")
+		for _, dev := range fpga.Catalog {
+			line(dev.Name, core.Evaluate(a, platform.MIPS(opts.Platform.CPUMHz, dev), 0, opts.Algorithm))
+		}
+	case "clocks":
+		fmt.Fprintf(&b, "clock sweep (%s, %s):\n", opts.Algorithm, opts.Platform.Device.Name)
+		for _, mhz := range clocks {
+			label := fmt.Sprintf("%.0fMHz", mhz)
+			line(label, core.Evaluate(a, platform.MIPS(mhz, opts.Platform.Device), 0, opts.Algorithm))
+		}
+	}
+	return b.String(), nil
 }
 
 // partitionOne runs the flow on one binary and renders its report.

@@ -15,6 +15,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
+
+	"binpart/internal/cache"
 )
 
 // Default load addresses. Text is placed low, data above it, and the stack
@@ -40,6 +43,28 @@ type Image struct {
 	DataBase uint32   // byte address of Data[0]
 	Data     []byte   // initialized data section
 	Symbols  []Symbol // sorted by Addr
+
+	keyOnce sync.Once
+	key     cache.Key
+}
+
+// Key content-addresses the image: every field the simulator, decompiler,
+// and synthesizer can observe. The hash is memoized — stage-cache lookups
+// key on it several times per run, and the text section dominates the
+// hashing cost — so Key must only be called once the image is fully
+// built; later mutations are not reflected.
+func (im *Image) Key() cache.Key {
+	im.keyOnce.Do(func() {
+		h := cache.NewHasher("binimg")
+		h.Uint32(im.Entry).Uint32(im.TextBase).Words(im.Text)
+		h.Uint32(im.DataBase).Bytes(im.Data)
+		h.Int(int64(len(im.Symbols)))
+		for _, s := range im.Symbols {
+			h.String(s.Name).Uint32(s.Addr).Uint32(s.Size)
+		}
+		im.key = h.Sum()
+	})
+	return im.key
 }
 
 // TextEnd returns the byte address one past the last text word.

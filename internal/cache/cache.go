@@ -23,6 +23,7 @@ import (
 	"hash"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Key is a 256-bit content address of one stage's inputs.
@@ -126,6 +127,7 @@ type Stats struct {
 	Misses    uint64 // full computes
 	Evictions uint64 // LRU entries dropped at capacity
 	DiskHits  uint64 // misses served from the disk layer
+	Waits     uint64 // GetOrCompute calls that blocked on another caller's in-flight compute
 	Entries   int    // current in-memory entry count
 }
 
@@ -144,13 +146,31 @@ type inflightCall[V any] struct {
 // A nil *Cache is valid and caches nothing: Get always misses, Put is a
 // no-op, and GetOrCompute always computes. That lets call sites thread an
 // optional cache without branching.
+//
+// The hit path takes only a read lock: counters are atomic and recency
+// updates are buffered rather than applied in place, so a warm sweep's
+// workers never serialize on list bookkeeping. Buffered promotions are
+// applied, oldest first, under the next write lock — before any insert or
+// eviction — which keeps eviction order identical to an LRU that promotes
+// immediately (as the single-threaded eviction tests require).
 type Cache[V any] struct {
-	mu       sync.Mutex
 	capacity int
+
+	mu       sync.RWMutex
 	ll       *list.List               // front = most recently used
 	items    map[Key]*list.Element    // key -> *entry
 	inflight map[Key]*inflightCall[V] // keys being computed right now
-	stats    Stats
+
+	// pending buffers hit promotions recorded under the read lock. When
+	// the buffer is full the note is dropped: recency degrades but
+	// correctness does not.
+	pending chan Key
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	diskHits  atomic.Uint64
+	waits     atomic.Uint64
 
 	disk  *DiskStore
 	codec *Codec[V]
@@ -166,6 +186,7 @@ func New[V any](capacity int) *Cache[V] {
 		ll:       list.New(),
 		items:    make(map[Key]*list.Element),
 		inflight: make(map[Key]*inflightCall[V]),
+		pending:  make(chan Key, 1024),
 	}
 }
 
@@ -188,29 +209,70 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 	if c == nil {
 		return zero, false
 	}
+	if v, ok := c.fastGet(k); ok {
+		return v, true
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if v, ok := c.lookupLocked(k); ok {
 		return v, true
 	}
-	c.stats.Misses++
+	c.misses.Add(1)
 	return zero, false
 }
 
+// fastGet is the contention-free hit path: a read lock, an atomic hit
+// count, and a buffered recency note. The list is only mutated under the
+// write lock, so concurrent readers are safe.
+func (c *Cache[V]) fastGet(k Key) (V, bool) {
+	var v V
+	c.mu.RLock()
+	e, ok := c.items[k]
+	if ok {
+		v = e.Value.(*entry[V]).val
+	}
+	c.mu.RUnlock()
+	if !ok {
+		return v, false
+	}
+	c.hits.Add(1)
+	select {
+	case c.pending <- k:
+	default:
+	}
+	return v, true
+}
+
+// drainPendingLocked applies buffered hit promotions in arrival order.
+// Every write-lock holder drains before inserting or evicting.
+func (c *Cache[V]) drainPendingLocked() {
+	for {
+		select {
+		case k := <-c.pending:
+			if e, ok := c.items[k]; ok {
+				c.ll.MoveToFront(e)
+			}
+		default:
+			return
+		}
+	}
+}
+
 // lookupLocked checks memory then disk; it records hits but not misses,
-// so callers decide how a miss is counted.
+// so callers decide how a miss is counted. Callers hold the write lock.
 func (c *Cache[V]) lookupLocked(k Key) (V, bool) {
+	c.drainPendingLocked()
 	if e, ok := c.items[k]; ok {
 		c.ll.MoveToFront(e)
-		c.stats.Hits++
+		c.hits.Add(1)
 		return e.Value.(*entry[V]).val, true
 	}
 	if c.disk != nil && c.codec != nil {
 		if data, ok := c.disk.Get(k); ok {
 			if v, err := c.codec.Unmarshal(data); err == nil {
 				c.insertLocked(k, v, false)
-				c.stats.Hits++
-				c.stats.DiskHits++
+				c.hits.Add(1)
+				c.diskHits.Add(1)
 				return v, true
 			}
 		}
@@ -226,6 +288,7 @@ func (c *Cache[V]) Put(k Key, v V) {
 		return
 	}
 	c.mu.Lock()
+	c.drainPendingLocked()
 	c.insertLocked(k, v, true)
 	c.mu.Unlock()
 }
@@ -240,7 +303,7 @@ func (c *Cache[V]) insertLocked(k Key, v V, writeDisk bool) {
 			back := c.ll.Back()
 			c.ll.Remove(back)
 			delete(c.items, back.Value.(*entry[V]).key)
-			c.stats.Evictions++
+			c.evictions.Add(1)
 		}
 	}
 	if writeDisk && c.disk != nil && c.codec != nil {
@@ -252,11 +315,14 @@ func (c *Cache[V]) insertLocked(k Key, v V, writeDisk bool) {
 
 // GetOrCompute returns the value for k, computing it with fn on a miss.
 // Concurrent calls for the same key coalesce: one caller computes, the
-// rest wait and share the result (a waiter counts as a hit). Errors are
-// not cached.
+// rest wait and share the result (a waiter counts as a hit, and also as a
+// wait — the contention-visible counter). Errors are not cached.
 func (c *Cache[V]) GetOrCompute(k Key, fn func() (V, error)) (V, error) {
 	if c == nil {
 		return fn()
+	}
+	if v, ok := c.fastGet(k); ok {
+		return v, nil
 	}
 	c.mu.Lock()
 	if v, ok := c.lookupLocked(k); ok {
@@ -264,7 +330,8 @@ func (c *Cache[V]) GetOrCompute(k Key, fn func() (V, error)) (V, error) {
 		return v, nil
 	}
 	if fl, ok := c.inflight[k]; ok {
-		c.stats.Hits++
+		c.hits.Add(1)
+		c.waits.Add(1)
 		c.mu.Unlock()
 		<-fl.done
 		if fl.err != nil {
@@ -273,7 +340,7 @@ func (c *Cache[V]) GetOrCompute(k Key, fn func() (V, error)) (V, error) {
 		}
 		return fl.val, nil
 	}
-	c.stats.Misses++
+	c.misses.Add(1)
 	fl := &inflightCall[V]{done: make(chan struct{})}
 	c.inflight[k] = fl
 	c.mu.Unlock()
@@ -284,6 +351,7 @@ func (c *Cache[V]) GetOrCompute(k Key, fn func() (V, error)) (V, error) {
 	c.mu.Lock()
 	delete(c.inflight, k)
 	if fl.err == nil {
+		c.drainPendingLocked()
 		c.insertLocked(k, fl.val, true)
 	}
 	c.mu.Unlock()
@@ -295,8 +363,8 @@ func (c *Cache[V]) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.ll.Len()
 }
 
@@ -305,9 +373,15 @@ func (c *Cache[V]) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		DiskHits:  c.diskHits.Load(),
+		Waits:     c.waits.Load(),
+	}
+	c.mu.RLock()
 	s.Entries = c.ll.Len()
+	c.mu.RUnlock()
 	return s
 }

@@ -34,24 +34,30 @@ type Caches struct {
 	// Synth memoizes behavioral synthesis: the region's CDFG signature
 	// plus the synthesis configuration.
 	Synth *cache.Cache[*synth.Design]
+	// Analysis memoizes the assembled platform-independent Analysis:
+	// image bytes + every option the analysis stages read (the platform,
+	// area budget, and algorithm are evaluate-time inputs and excluded).
+	Analysis *cache.Cache[*Analysis]
 }
 
 // Default per-stage capacities. The suite has 20 benchmarks x 4 opt
 // levels; synthesis sees a few candidate regions per binary.
 const (
-	defaultCompileEntries = 256
-	defaultSimEntries     = 256
-	defaultLiftEntries    = 256
-	defaultSynthEntries   = 2048
+	defaultCompileEntries  = 256
+	defaultSimEntries      = 256
+	defaultLiftEntries     = 256
+	defaultSynthEntries    = 2048
+	defaultAnalysisEntries = 256
 )
 
 // NewCaches builds an in-memory cache set with default capacities.
 func NewCaches() *Caches {
 	return &Caches{
-		Compile: cache.New[*binimg.Image](defaultCompileEntries),
-		Sim:     cache.New[sim.Result](defaultSimEntries),
-		Lift:    cache.New[*LiftResult](defaultLiftEntries),
-		Synth:   cache.New[*synth.Design](defaultSynthEntries),
+		Compile:  cache.New[*binimg.Image](defaultCompileEntries),
+		Sim:      cache.New[sim.Result](defaultSimEntries),
+		Lift:     cache.New[*LiftResult](defaultLiftEntries),
+		Synth:    cache.New[*synth.Design](defaultSynthEntries),
+		Analysis: cache.New[*Analysis](defaultAnalysisEntries),
 	}
 }
 
@@ -76,29 +82,25 @@ func (c *Caches) StatsString() string {
 		return "cache: disabled\n"
 	}
 	var b strings.Builder
-	b.WriteString("cache  stage      hits   miss  disk  evict  entries\n")
+	b.WriteString("cache  stage      hits   miss  disk  wait  evict  entries\n")
 	row := func(name string, s cache.Stats) {
-		fmt.Fprintf(&b, "cache  %-8s %6d %6d %5d %6d %8d\n",
-			name, s.Hits, s.Misses, s.DiskHits, s.Evictions, s.Entries)
+		fmt.Fprintf(&b, "cache  %-8s %6d %6d %5d %5d %6d %8d\n",
+			name, s.Hits, s.Misses, s.DiskHits, s.Waits, s.Evictions, s.Entries)
 	}
 	row("compile", c.Compile.Stats())
 	row("sim", c.Sim.Stats())
 	row("lift", c.Lift.Stats())
 	row("synth", c.Synth.Stats())
+	row("analysis", c.Analysis.Stats())
 	return b.String()
 }
 
 // ImageKey content-addresses a binary image: every field the simulator,
-// decompiler, and synthesizer can observe.
+// decompiler, and synthesizer can observe. The hash is memoized on the
+// image (see binimg.Image.Key), so repeated stage-cache lookups on one
+// image don't rehash its text section.
 func ImageKey(img *binimg.Image) cache.Key {
-	h := cache.NewHasher("binimg")
-	h.Uint32(img.Entry).Uint32(img.TextBase).Words(img.Text)
-	h.Uint32(img.DataBase).Bytes(img.Data)
-	h.Int(int64(len(img.Symbols)))
-	for _, s := range img.Symbols {
-		h.String(s.Name).Uint32(s.Addr).Uint32(s.Size)
-	}
-	return h.Sum()
+	return img.Key()
 }
 
 func hashSimConfig(h *cache.Hasher, cfg sim.Config) {

@@ -20,16 +20,11 @@
 package core
 
 import (
-	"fmt"
-	"sort"
 	"time"
 
 	"binpart/internal/alias"
 	"binpart/internal/binimg"
-	"binpart/internal/cache"
-	"binpart/internal/decompile"
 	"binpart/internal/dopt"
-	"binpart/internal/fpga"
 	"binpart/internal/ir"
 	"binpart/internal/partition"
 	"binpart/internal/platform"
@@ -181,153 +176,31 @@ func Run(img *binimg.Image, opts Options) (*Report, error) {
 }
 
 // RunWith executes the full flow on a binary image, memoizing the
-// simulation, lift (decompile + dopt), and synthesis stages through the
-// given cache set. A nil cache set computes everything directly. The
-// returned Report is freshly built either way; only stage products
-// (profiles, lifted functions, designs) are shared with other runs, and
-// those are treated as immutable throughout this package.
+// simulation, lift (decompile + dopt), synthesis, and assembled-analysis
+// stages through the given cache set. A nil cache set computes everything
+// directly. The returned Report is freshly built either way; only stage
+// products (profiles, lifted functions, designs) are shared with other
+// runs, and those are treated as immutable throughout this package.
+//
+// RunWith is a thin composition of the two layers of the flow: the
+// platform-independent AnalyzeWith (simulate, lift, synthesize — see
+// analysis.go) and the platform-dependent evaluate tail (candidate
+// pricing, partitioning, platform evaluation). Sweeps that vary only the
+// platform, area budget, or algorithm should call AnalyzeWith once and
+// Evaluate per point instead.
 func RunWith(img *binimg.Image, opts Options, caches *Caches) (*Report, error) {
-	if opts.Platform.CPUMHz == 0 {
-		opts.Platform = platform.MIPS200
-	}
-	if opts.AreaBudgetGates == 0 {
-		opts.AreaBudgetGates = fpga.Area{
-			Slices: opts.Platform.Device.Slices,
-			Mult18: opts.Platform.Device.Mult18,
-		}.GateEquivalent()
-	}
-	opts.Sim.Profile = true
-	rep := &Report{Options: opts}
-
-	var imgKey cache.Key
-	if caches != nil {
-		imgKey = ImageKey(img)
-	}
-
-	// 1. Profile the all-software execution.
-	var res sim.Result
-	var err error
-	if caches != nil && caches.Sim != nil {
-		res, err = caches.Sim.GetOrCompute(simKey(imgKey, opts.Sim), func() (sim.Result, error) {
-			return sim.Execute(img, opts.Sim)
-		})
-	} else {
-		res, err = sim.Execute(img, opts.Sim)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: software simulation: %w", err)
-	}
-	rep.ExitCode = res.ExitCode
-	rep.SWCycles = res.Cycles
-	cycAt := sim.AttributeCycles(img, res.Profile, opts.Sim.Cycles)
-
-	// 2+3. Decompile and run the decompiler optimization pipeline.
-	decOpts := decompile.Options{RecoverJumpTables: opts.RecoverJumpTables}
-	var lr *LiftResult
-	if caches != nil && caches.Lift != nil {
-		lr, err = caches.Lift.GetOrCompute(liftKey(imgKey, decOpts, opts.Dopt), func() (*LiftResult, error) {
-			return computeLift(img, decOpts, opts.Dopt)
-		})
-	} else {
-		lr, err = computeLift(img, decOpts, opts.Dopt)
-	}
+	a, err := AnalyzeWith(img, opts, caches)
 	if err != nil {
 		return nil, err
 	}
-	dec := lr.Dec
-	rerollFactors := lr.Factors
-	// The report owns fresh top-level maps; the values inside are shared
-	// with the cache and read-only.
-	rep.Recovery = lr.Recovery
-	rep.Recovery.FailReasons = copyStringMap(lr.Recovery.FailReasons)
-	rep.DoptReports = copyStringMap(lr.Reports)
-	rep.Outlines = copyStringMap(lr.Outlines)
-
-	sctx := &synthCtx{caches: caches, imgKey: imgKey}
-
-	// 4. Build candidates: outermost loops (default), or whole call-free
-	// functions when running at function granularity.
-	var cands []*partition.Candidate
-	addCand := func(rr *RegionReport, sizeInstrs int) {
-		rep.Regions = append(rep.Regions, rr)
-		cands = append(cands, &partition.Candidate{
-			Name:       rr.Name,
-			SWTimeNs:   float64(rr.SWCycles) / opts.Platform.CPUMHz * 1000,
-			HWTimeNs:   rr.HWCycles*rr.HWClockNs + float64(rr.Invocations*opts.Platform.CommCPUCycles)/opts.Platform.CPUMHz*1000,
-			AreaGates:  rr.AreaGates,
-			Footprint:  rr.Footprint,
-			SizeInstrs: sizeInstrs,
-			IsLoop:     true,
-			Payload:    rr,
-		})
-	}
-	for _, f := range dec.Funcs {
-		if f.Name == "_start" {
-			continue
-		}
-		if caches != nil && caches.Synth != nil {
-			sctx.sig = funcSignature(f)
-		}
-		extents := blockExtents(f, img)
-		if opts.Granularity == GranFunctions {
-			rr, err := buildFuncCandidate(f, img, extents, res.Profile, cycAt, rerollFactors[f.Name], opts, sctx)
-			if err == nil && rr != nil {
-				addCand(rr, f.NumInstrs())
-			}
-			continue
-		}
-		loops := ir.FindLoops(f)
-		for _, l := range loops {
-			if l.Depth != 1 || !synthesizable(l) {
-				continue
-			}
-			rr, err := buildCandidate(f, l, img, extents, res.Profile, cycAt, rerollFactors[f.Name], opts, sctx)
-			if err != nil || rr == nil {
-				continue
-			}
-			addCand(rr, l.NumInstrs())
-		}
-	}
-	sort.Slice(rep.Regions, func(i, j int) bool { return rep.Regions[i].SWCycles > rep.Regions[j].SWCycles })
-
-	// 5. Partition (timed: the paper's heuristic targets dynamic use).
-	start := time.Now()
-	var pres *partition.Result
-	switch opts.Algorithm {
-	case AlgGreedy:
-		pres = partition.GreedyKnapsack(cands, opts.AreaBudgetGates)
-	case AlgGCLP:
-		pres = partition.GCLP(cands, opts.AreaBudgetGates)
-	default:
-		pres = partition.Partition(cands, opts.AreaBudgetGates, opts.Partition)
-	}
-	rep.PartitionTime = time.Since(start)
-
-	// 6. Evaluate on the platform.
-	var regions []platform.Region
-	for _, c := range pres.Selected {
-		rr := c.Payload.(*RegionReport)
-		rr.Selected = true
-		rr.Step = pres.Step[c.Name]
-		regions = append(regions, platform.Region{
-			Name:        rr.Name,
-			SWCycles:    rr.SWCycles,
-			HWCycles:    rr.HWCycles,
-			HWClockNs:   rr.HWClockNs,
-			Invocations: rr.Invocations,
-			AreaGates:   rr.AreaGates,
-			ActiveGates: rr.AreaGates,
-		})
-	}
-	rep.Metrics = opts.Platform.Evaluate(res.Cycles, regions)
-	return rep, nil
+	return evaluateOpts(a, opts), nil
 }
 
 // buildFuncCandidate synthesizes an entire call-free function as one
 // hardware region.
 func buildFuncCandidate(f *ir.Func, img *binimg.Image,
 	extents map[int][2]uint32, prof *sim.Profile, cycAt map[uint32]uint64,
-	rerollFactors map[int]int, opts Options, sctx *synthCtx) (*RegionReport, error) {
+	rerollFactors map[int]int, opts Options, sctx *synthCtx) (*RegionCandidate, error) {
 
 	for _, b := range f.Blocks {
 		for i := range b.Instrs {
@@ -363,7 +236,7 @@ func buildFuncCandidate(f *ir.Func, img *binimg.Image,
 	}
 	am := alias.Analyze(f, img)
 	fp, _ := am.FuncFootprint(f)
-	return &RegionReport{
+	return &RegionCandidate{
 		Name:        d.Name,
 		Func:        f.Name,
 		SWCycles:    swCycles,
@@ -372,6 +245,7 @@ func buildFuncCandidate(f *ir.Func, img *binimg.Image,
 		Invocations: invocations,
 		AreaGates:   d.GateEquivalent(),
 		Footprint:   fp,
+		SizeInstrs:  f.NumInstrs(),
 		Design:      d,
 	}, nil
 }
@@ -415,7 +289,7 @@ func blockExtents(f *ir.Func, img *binimg.Image) map[int][2]uint32 {
 // numbers.
 func buildCandidate(f *ir.Func, l *ir.Loop, img *binimg.Image,
 	extents map[int][2]uint32, prof *sim.Profile, cycAt map[uint32]uint64,
-	rerollFactors map[int]int, opts Options, sctx *synthCtx) (*RegionReport, error) {
+	rerollFactors map[int]int, opts Options, sctx *synthCtx) (*RegionCandidate, error) {
 
 	// Software cycles and block execution counts from the profile.
 	var swCycles uint64
@@ -478,7 +352,7 @@ func buildCandidate(f *ir.Func, l *ir.Loop, img *binimg.Image,
 	am := alias.Analyze(f, img)
 	fp, _ := am.Footprint(l.Blocks)
 
-	return &RegionReport{
+	return &RegionCandidate{
 		Name:        d.Name,
 		Func:        f.Name,
 		SWCycles:    swCycles,
@@ -487,6 +361,7 @@ func buildCandidate(f *ir.Func, l *ir.Loop, img *binimg.Image,
 		Invocations: invocations,
 		AreaGates:   d.GateEquivalent(),
 		Footprint:   fp,
+		SizeInstrs:  l.NumInstrs(),
 		Design:      d,
 	}, nil
 }

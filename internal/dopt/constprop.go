@@ -27,61 +27,87 @@ import "binpart/internal/ir"
 // MIPS idioms "addu rd, rs, $zero" (move) and "addiu rt, $zero, imm"
 // (constant load). Returns the number of instructions simplified.
 func ConstProp(f *ir.Func) int {
+	// The per-block environment is an epoch-stamped dense array over the
+	// function's location space: entering a block bumps the epoch instead
+	// of clearing (or reallocating) the bindings, and a binding counts
+	// only if its stamp matches the current epoch. ConstProp runs inside
+	// Cleanup's fixpoint, so keeping this loop allocation-light matters.
+	env := constEnv{
+		val:   make([]ir.Arg, locSpace(f)),
+		stamp: make([]uint32, locSpace(f)),
+	}
 	changed := 0
 	for _, b := range f.Blocks {
-		known := map[ir.Loc]ir.Arg{}
-		sub := func(a ir.Arg) ir.Arg {
-			if a.IsConst {
-				return a
-			}
-			if a.Loc == ir.RegZero {
-				return ir.C(0)
-			}
-			if v, ok := known[a.Loc]; ok {
-				return v
-			}
-			return a
-		}
-		invalidate := func(l ir.Loc) {
-			delete(known, l)
-			for k, v := range known {
-				if !v.IsConst && v.Loc == l {
-					delete(known, k)
-				}
-			}
-		}
+		env.epoch++
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			beforeOp, beforeA, beforeB := in.Op, in.A, in.B
 			switch {
 			case in.Op.IsBinary():
-				in.A, in.B = sub(in.A), sub(in.B)
+				in.A, in.B = env.sub(in.A), env.sub(in.B)
 				simplify(in)
 			case in.Op == ir.Move || in.Op == ir.IJump || in.Op == ir.Load:
-				in.A = sub(in.A)
+				in.A = env.sub(in.A)
 			case in.Op == ir.Store:
-				in.A, in.B = sub(in.A), sub(in.B)
+				in.A, in.B = env.sub(in.A), env.sub(in.B)
 			case in.Op == ir.Branch:
-				in.A, in.B = sub(in.A), sub(in.B)
+				in.A, in.B = env.sub(in.A), env.sub(in.B)
 			}
 			if in.Op != beforeOp || in.A != beforeA || in.B != beforeB {
 				changed++
 			}
 			if in.HasDst() {
-				invalidate(in.Dst)
+				env.invalidate(in.Dst)
 				if in.Op == ir.Move && (in.A.IsConst || in.A.Loc != in.Dst) {
-					known[in.Dst] = in.A
+					env.define(in.Dst, in.A)
 				}
 			}
 			if in.Op == ir.Call {
 				// Calls clobber the caller-saved state.
 				for _, l := range callClobbered {
-					invalidate(l)
+					env.invalidate(l)
 				}
 			}
 		}
 	}
 	return changed
+}
+
+// constEnv is ConstProp's per-block binding environment: location ->
+// known Arg, valid only while the stamp matches the current epoch.
+type constEnv struct {
+	val   []ir.Arg
+	stamp []uint32
+	epoch uint32
+}
+
+func (e *constEnv) sub(a ir.Arg) ir.Arg {
+	if a.IsConst {
+		return a
+	}
+	if a.Loc == ir.RegZero {
+		return ir.C(0)
+	}
+	if e.stamp[a.Loc] == e.epoch {
+		return e.val[a.Loc]
+	}
+	return a
+}
+
+func (e *constEnv) define(l ir.Loc, a ir.Arg) {
+	e.val[l] = a
+	e.stamp[l] = e.epoch
+}
+
+// invalidate drops the binding for l and every copy binding that reads
+// it.
+func (e *constEnv) invalidate(l ir.Loc) {
+	e.stamp[l] = 0
+	for k := range e.val {
+		if e.stamp[k] == e.epoch && !e.val[k].IsConst && e.val[k].Loc == l {
+			e.stamp[k] = 0
+		}
+	}
 }
 
 // callClobbered lists locations a call may redefine (MIPS o32
@@ -254,7 +280,7 @@ func FoldMoves(f *ir.Func) int {
 			if !prev.HasDst() || prev.Dst != x || prev.Op == ir.Move {
 				continue
 			}
-			if usedLater(b, i+1, x) || liveOut[b.Index][x] {
+			if usedLater(b, i+1, x) || liveOut[b.Index].has(x) {
 				continue
 			}
 			prev.Dst = mv.Dst
@@ -268,9 +294,10 @@ func FoldMoves(f *ir.Func) int {
 // usedLater reports whether loc is read in b at or after index from,
 // before being redefined.
 func usedLater(b *ir.Block, from int, loc ir.Loc) bool {
+	var ub [2]ir.Loc
 	for i := from; i < len(b.Instrs); i++ {
 		in := &b.Instrs[i]
-		for _, u := range effUses(in) {
+		for _, u := range effUses(in, ub[:0]) {
 			if u == loc {
 				return true
 			}
@@ -292,48 +319,41 @@ func usedLater(b *ir.Block, from int, loc ir.Loc) bool {
 }
 
 // abiLiveness computes block liveness with ABI-aware uses (calls read
-// argument registers, returns read the ABI-live set).
-func abiLiveness(f *ir.Func) (liveIn, liveOut []map[ir.Loc]bool) {
+// argument registers, returns read the ABI-live set). The returned sets
+// share one backing allocation; treat them as read-only.
+func abiLiveness(f *ir.Func) (liveIn, liveOut []locSet) {
 	n := len(f.Blocks)
-	liveIn = make([]map[ir.Loc]bool, n)
-	liveOut = make([]map[ir.Loc]bool, n)
-	for i := range liveIn {
-		liveIn[i] = map[ir.Loc]bool{}
-		liveOut[i] = map[ir.Loc]bool{}
-	}
+	sets, scratch := newLocSets(2*n, 1, locSpace(f))
+	liveIn, liveOut = sets[:n], sets[n:]
+	live := scratch[0]
+	var ub [2]ir.Loc
 	for changed := true; changed; {
 		changed = false
 		for i := n - 1; i >= 0; i-- {
 			b := f.Blocks[i]
-			live := map[ir.Loc]bool{}
+			live.reset()
 			for _, s := range b.Succs {
-				for l := range liveIn[s.Index] {
-					live[l] = true
-					if !liveOut[i][l] {
-						liveOut[i][l] = true
-						changed = true
-					}
-				}
+				live.or(liveIn[s.Index])
+			}
+			if liveOut[i].or(live) {
+				changed = true
 			}
 			for j := len(b.Instrs) - 1; j >= 0; j-- {
 				in := &b.Instrs[j]
 				if in.HasDst() {
-					delete(live, in.Dst)
+					live.clear(in.Dst)
 				}
 				if in.Op == ir.Call {
 					for _, l := range callClobbered {
-						delete(live, l)
+						live.clear(l)
 					}
 				}
-				for _, u := range effUses(in) {
-					live[u] = true
+				for _, u := range effUses(in, ub[:0]) {
+					live.set(u)
 				}
 			}
-			for l := range live {
-				if !liveIn[i][l] {
-					liveIn[i][l] = true
-					changed = true
-				}
+			if liveIn[i].or(live) {
+				changed = true
 			}
 		}
 	}
@@ -341,18 +361,23 @@ func abiLiveness(f *ir.Func) (liveIn, liveOut []map[ir.Loc]bool) {
 }
 
 // effUses extends Instr.Uses with ABI effects: calls read the argument
-// registers, returns read the ABI-live set.
-func effUses(in *ir.Instr) []ir.Loc {
+// registers, returns read the ABI-live set. ABI ops return shared
+// package-level slices and other ops append into buf, so a caller-held
+// buffer of capacity two makes the call allocation-free; the result is
+// only valid until buf's next reuse and must not be mutated.
+func effUses(in *ir.Instr, buf []ir.Loc) []ir.Loc {
 	switch in.Op {
 	case ir.Call:
 		return callUses
 	case ir.Ret:
 		return retUses
 	case ir.Halt:
-		return []ir.Loc{ir.RegV0}
+		return haltUses
 	}
-	return in.Uses()
+	return in.AppendUses(buf)
 }
+
+var haltUses = []ir.Loc{ir.RegV0}
 
 // DeadCode removes pure instructions whose destinations are never live,
 // using backwards per-instruction liveness with ABI-aware uses. Returns
@@ -360,39 +385,33 @@ func effUses(in *ir.Instr) []ir.Loc {
 func DeadCode(f *ir.Func) int {
 	// Block-level liveness with ABI uses folded in.
 	n := len(f.Blocks)
-	liveIn := make([]map[ir.Loc]bool, n)
-	for i := range liveIn {
-		liveIn[i] = map[ir.Loc]bool{}
-	}
+	liveIn, scratch := newLocSets(n, 1, locSpace(f))
+	live := scratch[0]
+	var ub [2]ir.Loc
 	for changed := true; changed; {
 		changed = false
 		for i := n - 1; i >= 0; i-- {
 			b := f.Blocks[i]
-			live := map[ir.Loc]bool{}
+			live.reset()
 			for _, s := range b.Succs {
-				for l := range liveIn[s.Index] {
-					live[l] = true
-				}
+				live.or(liveIn[s.Index])
 			}
 			for j := len(b.Instrs) - 1; j >= 0; j-- {
 				in := &b.Instrs[j]
 				if in.HasDst() {
-					delete(live, in.Dst)
+					live.clear(in.Dst)
 				}
 				if in.Op == ir.Call {
 					for _, l := range callClobbered {
-						delete(live, l)
+						live.clear(l)
 					}
 				}
-				for _, u := range effUses(in) {
-					live[u] = true
+				for _, u := range effUses(in, ub[:0]) {
+					live.set(u)
 				}
 			}
-			for l := range live {
-				if !liveIn[i][l] {
-					liveIn[i][l] = true
-					changed = true
-				}
+			if liveIn[i].or(live) {
+				changed = true
 			}
 		}
 	}
@@ -400,29 +419,27 @@ func DeadCode(f *ir.Func) int {
 	removed := 0
 	for i := n - 1; i >= 0; i-- {
 		b := f.Blocks[i]
-		live := map[ir.Loc]bool{}
+		live.reset()
 		for _, s := range b.Succs {
-			for l := range liveIn[s.Index] {
-				live[l] = true
-			}
+			live.or(liveIn[s.Index])
 		}
 		for j := len(b.Instrs) - 1; j >= 0; j-- {
 			in := &b.Instrs[j]
-			if in.HasDst() && !live[in.Dst] && pure(in) {
+			if in.HasDst() && !live.has(in.Dst) && pure(in) {
 				*in = ir.Instr{Op: ir.Nop, Addr: in.Addr}
 				removed++
 				continue
 			}
 			if in.HasDst() {
-				delete(live, in.Dst)
+				live.clear(in.Dst)
 			}
 			if in.Op == ir.Call {
 				for _, l := range callClobbered {
-					delete(live, l)
+					live.clear(l)
 				}
 			}
-			for _, u := range effUses(in) {
-				live[u] = true
+			for _, u := range effUses(in, ub[:0]) {
+				live.set(u)
 			}
 		}
 	}

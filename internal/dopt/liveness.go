@@ -1,0 +1,69 @@
+package dopt
+
+import "binpart/internal/ir"
+
+// locSet is a dense bitset over a function's location space. The
+// liveness analyses run to a fixpoint over every block several times per
+// Cleanup, so the sets use flat words instead of maps: one backing array
+// per analysis call, no per-iteration allocation.
+type locSet []uint64
+
+func (s locSet) has(l ir.Loc) bool { return s[l>>6]&(1<<(uint(l)&63)) != 0 }
+func (s locSet) set(l ir.Loc)      { s[l>>6] |= 1 << (uint(l) & 63) }
+func (s locSet) clear(l ir.Loc)    { s[l>>6] &^= 1 << (uint(l) & 63) }
+
+func (s locSet) reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// or unions t into s and reports whether s gained any location.
+func (s locSet) or(t locSet) bool {
+	changed := false
+	for i, w := range t {
+		if nw := s[i] | w; nw != s[i] {
+			s[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// locSpace returns the size of f's location space: one past the largest
+// location any instruction references, covering physical registers,
+// HI/LO, and every virtual location passes have allocated.
+func locSpace(f *ir.Func) int {
+	max := ir.FirstVirtual
+	if f.NextLoc > max {
+		max = f.NextLoc
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.HasDst() && in.Dst >= max {
+				max = in.Dst + 1
+			}
+			if !in.A.IsConst && in.A.Loc >= max {
+				max = in.A.Loc + 1
+			}
+			if !in.B.IsConst && in.B.Loc >= max {
+				max = in.B.Loc + 1
+			}
+		}
+	}
+	return int(max)
+}
+
+// newLocSets carves n+extra bitsets for a location space of size space
+// out of one backing allocation. The first n are returned as a slice;
+// scratch sets follow at indices n..n+extra-1 of the second return.
+func newLocSets(n, extra, space int) ([]locSet, []locSet) {
+	words := (space + 63) / 64
+	backing := make([]uint64, (n+extra)*words)
+	sets := make([]locSet, n+extra)
+	for i := range sets {
+		sets[i] = locSet(backing[i*words : (i+1)*words])
+	}
+	return sets[:n], sets[n:]
+}

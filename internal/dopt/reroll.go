@@ -205,7 +205,7 @@ type rerollMatcher struct {
 	core []int
 	// coreIdx maps stream index -> core position, or -1.
 	coreIdx    []int
-	liveOut    map[ir.Loc]bool
+	liveOut    locSet
 	defsInLoop map[ir.Loc]bool
 	loopStores bool
 	// reductions maps the carried-write position q to its chain info;
@@ -216,7 +216,7 @@ type rerollMatcher struct {
 	dstMismatch map[int]bool
 }
 
-func newRerollMatcher(b *ir.Block, ivStep map[ir.Loc]int32, liveOut map[ir.Loc]bool, defsInLoop map[ir.Loc]bool, loopStores bool) *rerollMatcher {
+func newRerollMatcher(b *ir.Block, ivStep map[ir.Loc]int32, liveOut locSet, defsInLoop map[ir.Loc]bool, loopStores bool) *rerollMatcher {
 	m := &rerollMatcher{
 		b:          b,
 		ivStep:     ivStep,

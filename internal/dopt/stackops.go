@@ -1,6 +1,10 @@
 package dopt
 
-import "binpart/internal/ir"
+import (
+	"sort"
+
+	"binpart/internal/ir"
+)
 
 // StackReport summarizes what stack operation removal did.
 type StackReport struct {
@@ -144,12 +148,21 @@ func RemoveStackOps(f *ir.Func) StackReport {
 	}
 	rep.EscapedSlots = len(escaped)
 
-	// 3. Promote every clean slot to a fresh virtual location.
+	// 3. Promote every clean slot to a fresh virtual location, in slot
+	// order so the assigned location numbers don't depend on map
+	// iteration (lifted IR must be bit-identical run to run — it is
+	// content-addressed by the stage caches).
+	keys := make([]int64, 0, len(slots))
+	for key := range slots {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	locOf := map[int64]ir.Loc{}
-	for key, accs := range slots {
+	for _, key := range keys {
 		if badSlot[key] || escaped[key] {
 			continue
 		}
+		accs := slots[key]
 		loc := f.NewLoc()
 		locOf[key] = loc
 		rep.SlotsPromoted++

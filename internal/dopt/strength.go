@@ -113,7 +113,7 @@ type blockChains struct {
 	escapes        []bool
 }
 
-func newBlockChains(b *ir.Block, liveOut map[ir.Loc]bool) *blockChains {
+func newBlockChains(b *ir.Block, liveOut locSet) *blockChains {
 	n := len(b.Instrs)
 	bc := &blockChains{
 		b:        b,
@@ -132,13 +132,14 @@ func newBlockChains(b *ir.Block, liveOut map[ir.Loc]bool) *blockChains {
 		}
 		return -1
 	}
+	var ub [2]ir.Loc
 	for i := range b.Instrs {
 		in := &b.Instrs[i]
 		bc.defOfA[i] = resolve(in.A)
 		bc.defOfB[i] = resolve(in.B)
 		// Count consumers: every read of a location resolves to its
 		// reaching def.
-		for _, u := range effUses(in) {
+		for _, u := range effUses(in, ub[:0]) {
 			if d, ok := lastDef[u]; ok {
 				bc.useCount[d]++
 			}
@@ -150,7 +151,7 @@ func newBlockChains(b *ir.Block, liveOut map[ir.Loc]bool) *blockChains {
 	// The final def of a live-out location escapes; so does anything a
 	// call could observe indirectly (covered by effUses of the call).
 	for loc, d := range lastDef {
-		if liveOut[loc] {
+		if liveOut.has(loc) {
 			bc.escapes[d] = true
 		}
 	}

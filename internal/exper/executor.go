@@ -51,35 +51,34 @@ func (r *Runner) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// rows executes every job and returns one Row per job, in job order
-// regardless of completion order: workers pull indexes from a channel and
-// send indexed results back, and the collector writes each into its slot.
-// The first error aborts the sweep (remaining jobs are skipped, in-flight
-// ones drain).
-func (r *Runner) rows(jobs []rowJob) ([]Row, error) {
-	out := make([]Row, len(jobs))
-	workers := r.workers()
-	if workers > len(jobs) {
-		workers = len(jobs)
+// fanOut runs n indexed jobs over a bounded worker pool and returns the
+// results in index order regardless of completion order: workers pull
+// indexes from a channel and send indexed results back, and the collector
+// writes each into its slot. The first error aborts the sweep (remaining
+// jobs are skipped, in-flight ones drain).
+func fanOut[T any](workers, n int, run func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i, j := range jobs {
-			row, err := r.runOne(j)
+		for i := 0; i < n; i++ {
+			v, err := run(i)
 			if err != nil {
 				return nil, err
 			}
-			out[i] = row
+			out[i] = v
 		}
 		return out, nil
 	}
 
 	type result struct {
 		index int
-		row   Row
+		val   T
 		err   error
 	}
 	jobCh := make(chan int)
-	resCh := make(chan result, len(jobs))
+	resCh := make(chan result, n)
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -91,16 +90,16 @@ func (r *Runner) rows(jobs []rowJob) ([]Row, error) {
 					resCh <- result{index: i, err: errSkipped}
 					continue
 				}
-				row, err := r.runOne(jobs[i])
+				v, err := run(i)
 				if err != nil {
 					failed.Store(true)
 				}
-				resCh <- result{index: i, row: row, err: err}
+				resCh <- result{index: i, val: v, err: err}
 			}
 		}()
 	}
 	go func() {
-		for i := range jobs {
+		for i := 0; i < n; i++ {
 			jobCh <- i
 		}
 		close(jobCh)
@@ -116,12 +115,39 @@ func (r *Runner) rows(jobs []rowJob) ([]Row, error) {
 			}
 			continue
 		}
-		out[res.index] = res.row
+		out[res.index] = res.val
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// rows executes every job through the full flow, one Row per job, in job
+// order.
+func (r *Runner) rows(jobs []rowJob) ([]Row, error) {
+	return fanOut(r.workers(), len(jobs), func(i int) (Row, error) {
+		return r.runOne(jobs[i])
+	})
+}
+
+// analyses builds each job's platform-independent core.Analysis through
+// the worker pool, in job order. Sweeps whose points differ only in
+// platform, area budget, or algorithm analyze once per benchmark here and
+// fan the points over core.Evaluate, which costs microseconds per call.
+func (r *Runner) analyses(jobs []rowJob) ([]*core.Analysis, error) {
+	return fanOut(r.workers(), len(jobs), func(i int) (*core.Analysis, error) {
+		j := jobs[i]
+		img, err := r.compile(j)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.AnalyzeWith(img, j.opts, r.Caches)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", j.bench.Name, err)
+		}
+		return a, nil
+	})
 }
 
 // errSkipped marks jobs abandoned after another job already failed.
@@ -145,6 +171,11 @@ func (r *Runner) runOne(j rowJob) (Row, error) {
 	if err != nil {
 		return Row{}, fmt.Errorf("%s: %w", j.bench.Name, err)
 	}
+	return rowFrom(j, rep), nil
+}
+
+// rowFrom flattens one sweep point's Report into a Row.
+func rowFrom(j rowJob, rep *core.Report) Row {
 	_, failed := rep.Recovery.FailReasons[j.bench.KernelFunc]
 	return Row{
 		Name:          j.bench.Name,
@@ -160,5 +191,5 @@ func (r *Runner) runOne(j rowJob) (Row, error) {
 		KernelFailed:  failed,
 		PartitionTime: rep.PartitionTime,
 		Recovery:      rep.Recovery,
-	}, nil
+	}
 }

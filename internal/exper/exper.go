@@ -4,11 +4,17 @@
 // harness (bench_test.go at the repository root).
 //
 // Each experiment is a sweep over (benchmark, optimization level,
-// configuration) points. A Runner fans those points out over a bounded
-// worker pool and reuses stage results through a content-addressed cache
-// (see internal/cache); the package-level Run* functions execute serially
-// without caching and exist for API stability. Row order — and therefore
-// every formatted table — is identical at any worker count.
+// configuration) points. Sweeps whose points differ only in the platform,
+// area budget, or partitioning algorithm run analyze-once / evaluate-many:
+// each benchmark's platform-independent core.Analysis is built once (in
+// parallel across benchmarks) and every sweep point is a microsecond-scale
+// core.Evaluate call. Sweeps that vary analysis inputs (opt level, dopt
+// config, synthesis options) fan full-flow points over the pool instead.
+// Either way a Runner bounds the worker pool and reuses stage results
+// through a content-addressed cache (see internal/cache); the
+// package-level Run* functions execute serially without caching and exist
+// for API stability. Row order — and therefore every formatted table — is
+// identical at any worker count.
 package exper
 
 import (
@@ -142,25 +148,25 @@ type Table2 struct {
 // RunTable2 executes the platform sweep serially.
 func RunTable2() (*Table2, error) { return defaultRunner.Table2() }
 
-// Table2 executes the platform sweep. All three platforms' points enter
-// one fan-out, so the sweep saturates the pool; the simulation and lift
-// stages are clock-independent and hit the cache on all but the first
-// platform.
+// Table2 executes the platform sweep analyze-once: the analysis stages
+// never observe the CPU clock, so each benchmark is analyzed once (the
+// fan-out) and every clock point is a microsecond core.Evaluate call.
 func (r *Runner) Table2() (*Table2, error) {
 	mhzs := []float64{40, 200, 400}
-	var jobs []rowJob
-	for _, mhz := range mhzs {
-		jobs = append(jobs, suiteJobs(platform.MIPS(mhz, platform.MIPS200.Device))...)
-	}
-	rows, err := r.rows(jobs)
+	jobs := suiteJobs(platform.MIPS200)
+	as, err := r.analyses(jobs)
 	if err != nil {
 		return nil, err
 	}
 	t := &Table2{}
-	per := len(bench.All())
-	for i, mhz := range mhzs {
+	for _, mhz := range mhzs {
+		p := platform.MIPS(mhz, platform.MIPS200.Device)
+		rows := make([]Row, len(jobs))
+		for i, a := range as {
+			rows[i] = rowFrom(jobs[i], core.Evaluate(a, p, 0, jobs[i].opts.Algorithm))
+		}
 		t.MHz = append(t.MHz, mhz)
-		t.Summaries = append(t.Summaries, summarize(rows[i*per:(i+1)*per]))
+		t.Summaries = append(t.Summaries, summarize(rows))
 	}
 	return t, nil
 }
@@ -282,28 +288,26 @@ type Figure1 struct {
 // RunFigure1 executes the area sweep serially.
 func RunFigure1() (*Figure1, error) { return defaultRunner.Figure1() }
 
-// Figure1 executes the area sweep over the Virtex-II catalog: 11 devices
-// x 20 benchmarks in one fan-out. Compilation, simulation, lift, and
-// synthesis are all device-independent, so a warm cache reduces each
-// point to partitioning plus platform evaluation.
+// Figure1 executes the area sweep over the Virtex-II catalog analyze-
+// once: compilation, simulation, lift, and synthesis are all device-
+// independent, so each of the 20 benchmarks is analyzed once (the
+// fan-out) and each of the 11 devices costs one core.Evaluate call per
+// benchmark — partitioning plus platform evaluation, microseconds each.
 func (r *Runner) Figure1() (*Figure1, error) {
-	var jobs []rowJob
-	for _, dev := range fpga.Catalog {
-		jobs = append(jobs, suiteJobs(platform.MIPS(200, dev))...)
-	}
-	rows, err := r.rows(jobs)
+	jobs := suiteJobs(platform.MIPS200)
+	as, err := r.analyses(jobs)
 	if err != nil {
 		return nil, err
 	}
 	f := &Figure1{}
-	per := len(bench.All())
-	for i, dev := range fpga.Catalog {
+	for _, dev := range fpga.Catalog {
+		p := platform.MIPS(200, dev)
 		var sum float64
-		for _, row := range rows[i*per : (i+1)*per] {
-			sum += row.AppSpeedup
+		for i, a := range as {
+			sum += core.Evaluate(a, p, 0, jobs[i].opts.Algorithm).Metrics.AppSpeedup
 		}
 		f.Devices = append(f.Devices, dev.Name)
-		f.Speedups = append(f.Speedups, sum/float64(per))
+		f.Speedups = append(f.Speedups, sum/float64(len(as)))
 		f.Areas = append(f.Areas, fpga.Area{Slices: dev.Slices, Mult18: dev.Mult18}.GateEquivalent())
 	}
 	return f, nil
@@ -338,33 +342,30 @@ type Ablation struct {
 // RunPartitionerComparison compares partitioning algorithms serially.
 func RunPartitionerComparison() (*Ablation, error) { return defaultRunner.PartitionerComparison() }
 
-// PartitionerComparison compares partitioning algorithms over the suite.
+// PartitionerComparison compares partitioning algorithms over the suite
+// analyze-once: the candidate set is algorithm-independent, so each
+// benchmark is analyzed once and every algorithm is a core.Evaluate call
+// — which is also the honest way to time the partitioners themselves,
+// isolated from the heavy stages.
 func (r *Runner) PartitionerComparison() (*Ablation, error) {
 	algs := []core.Algorithm{core.AlgNinetyTen, core.AlgGreedy, core.AlgGCLP}
-	var jobs []rowJob
-	for _, alg := range algs {
-		for _, b := range bench.All() {
-			opts := core.DefaultOptions()
-			opts.Algorithm = alg
-			jobs = append(jobs, rowJob{bench: b, level: 1, opts: opts})
-		}
-	}
-	rows, err := r.rows(jobs)
+	jobs := suiteJobs(platform.MIPS200)
+	as, err := r.analyses(jobs)
 	if err != nil {
 		return nil, err
 	}
 	a := &Ablation{}
-	per := len(bench.All())
-	for i, alg := range algs {
+	for _, alg := range algs {
 		var sum float64
 		var ptime time.Duration
-		for _, row := range rows[i*per : (i+1)*per] {
-			sum += row.AppSpeedup
-			ptime += row.PartitionTime
+		for i, an := range as {
+			rep := core.Evaluate(an, jobs[i].opts.Platform, jobs[i].opts.AreaBudgetGates, alg)
+			sum += rep.Metrics.AppSpeedup
+			ptime += rep.PartitionTime
 		}
 		a.Names = append(a.Names, alg.String())
-		a.Speedups = append(a.Speedups, sum/float64(per))
-		a.PartTimes = append(a.PartTimes, ptime/time.Duration(per))
+		a.Speedups = append(a.Speedups, sum/float64(len(as)))
+		a.PartTimes = append(a.PartTimes, ptime/time.Duration(len(as)))
 	}
 	return a, nil
 }

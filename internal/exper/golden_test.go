@@ -100,6 +100,58 @@ func TestParallelSweepsMatchSerial(t *testing.T) {
 	}
 }
 
+// TestAnalyzeOnceSweepsMatchSerial covers the analyze-once sweeps the
+// same way: Figure1 and Table2 at -j 8 on one shared cache, running
+// concurrently with each other and with the partitioner comparison, must
+// render byte-identically to their serial, cacheless runs. Under `go
+// test -race` this exercises the hot sharing added by the Analyze split:
+// one immutable Analysis priced by many concurrent core.Evaluate calls,
+// plus the Analysis cache itself. The partitioner comparison checks
+// speedups only — its Format includes measured partition wall-clock.
+func TestAnalyzeOnceSweepsMatchSerial(t *testing.T) {
+	serialF1, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialT2, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialA1, err := RunPartitionerComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(8, core.NewCaches())
+	var wg sync.WaitGroup
+	var parF1 *Figure1
+	var parT2 *Table2
+	var parA1 *Ablation
+	var errF1, errT2, errA1 error
+	wg.Add(3)
+	go func() { defer wg.Done(); parF1, errF1 = r.Figure1() }()
+	go func() { defer wg.Done(); parT2, errT2 = r.Table2() }()
+	go func() { defer wg.Done(); parA1, errA1 = r.PartitionerComparison() }()
+	wg.Wait()
+	for _, err := range []error{errF1, errT2, errA1} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := parF1.Format(), serialF1.Format(); got != want {
+		t.Errorf("F1 parallel != serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if got, want := parT2.Format(), serialT2.Format(); got != want {
+		t.Errorf("T2 parallel != serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+	for i, name := range serialA1.Names {
+		if parA1.Names[i] != name || parA1.Speedups[i] != serialA1.Speedups[i] {
+			t.Errorf("A1 %s: parallel speedup %.6f != serial %.6f",
+				name, parA1.Speedups[i], serialA1.Speedups[i])
+		}
+	}
+}
+
 // TestRunnerErrorPropagation checks that a failing sweep point aborts the
 // fan-out and surfaces its error.
 func TestRunnerErrorPropagation(t *testing.T) {

@@ -256,10 +256,17 @@ func (in *Instr) HasDst() bool {
 
 // Uses returns the locations the instruction reads.
 func (in *Instr) Uses() []Loc {
-	var out []Loc
+	return in.AppendUses(nil)
+}
+
+// AppendUses appends the locations the instruction reads to dst and
+// returns the extended slice. An instruction reads at most two
+// locations, so a caller-held buffer of capacity two makes the hot
+// analysis loops allocation-free.
+func (in *Instr) AppendUses(dst []Loc) []Loc {
 	add := func(a Arg) {
 		if !a.IsConst {
-			out = append(out, a.Loc)
+			dst = append(dst, a.Loc)
 		}
 	}
 	switch {
@@ -277,7 +284,7 @@ func (in *Instr) Uses() []Loc {
 		add(in.A)
 		add(in.B)
 	}
-	return out
+	return dst
 }
 
 func (in *Instr) String() string {

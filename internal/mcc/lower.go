@@ -1,6 +1,9 @@
 package mcc
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // varLoc says where a variable lives during lowering.
 type varLoc struct {
@@ -94,7 +97,13 @@ func (lo *lowerer) newSlot(size, align int, name string) int {
 
 func (lo *lowerer) newLabel(hint string) string {
 	lo.labelN++
-	return fmt.Sprintf(".%s.%s%d", lo.f.Name, hint, lo.labelN)
+	var b []byte
+	b = append(b, '.')
+	b = append(b, lo.f.Name...)
+	b = append(b, '.')
+	b = append(b, hint...)
+	b = strconv.AppendInt(b, int64(lo.labelN), 10)
+	return string(b)
 }
 
 func (lo *lowerer) errf(format string, args ...any) error {

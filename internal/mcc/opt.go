@@ -55,11 +55,29 @@ func pruneDeadTables(f *tacFunc) {
 }
 
 // blockRanges splits f.Ins into basic-block index ranges [start,end).
+// Every TAC pass re-derives block structure through this, so it counts
+// first and allocates the result exactly once.
 func blockRanges(f *tacFunc) [][2]int {
-	var out [][2]int
-	start := 0
-	for i, in := range f.Ins {
-		switch in.Kind {
+	n, start := 0, 0
+	for i := range f.Ins {
+		switch f.Ins[i].Kind {
+		case iLabel:
+			if i > start {
+				n++
+			}
+			start = i
+		case iBr, iCBr, iJT, iRet:
+			n++
+			start = i + 1
+		}
+	}
+	if start < len(f.Ins) {
+		n++
+	}
+	out := make([][2]int, 0, n)
+	start = 0
+	for i := range f.Ins {
+		switch f.Ins[i].Kind {
 		case iLabel:
 			if i > start {
 				out = append(out, [2]int{start, i})
@@ -355,17 +373,19 @@ func removeUnreachableBlocks(f *tacFunc) {
 // deadCode removes pure instructions whose results are never used anywhere
 // in the function. Loads are pure in MicroC (no volatile).
 func deadCode(f *tacFunc) {
+	used := newTempSet(f.NTemp)
+	var ub [4]Temp
 	for {
-		used := make(map[Temp]bool)
+		used.reset()
 		for i := range f.Ins {
-			for _, t := range f.Ins[i].uses() {
-				used[t] = true
+			for _, t := range f.Ins[i].appendUses(ub[:0]) {
+				used.set(t)
 			}
 		}
 		changed := false
 		out := f.Ins[:0]
 		for _, in := range f.Ins {
-			if d, ok := in.def(); ok && !used[d] {
+			if d, ok := in.def(); ok && !used.has(d) {
 				switch in.Kind {
 				case iMov, iBin, iLoad, iAddrG, iAddrL:
 					changed = true

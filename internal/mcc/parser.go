@@ -6,6 +6,24 @@ import "fmt"
 type parser struct {
 	toks []token
 	pos  int
+	// Slabs for the highest-volume AST nodes: expression-heavy sources
+	// create thousands of these tiny nodes, so they are carved out of
+	// chunked backing arrays instead of allocated one by one.
+	numLits slab[NumLit]
+	idents  slab[Ident]
+	bins    slab[BinExpr]
+}
+
+// slab hands out *T values carved from chunked backing arrays.
+type slab[T any] struct{ buf []T }
+
+func (s *slab[T]) new() *T {
+	if len(s.buf) == 0 {
+		s.buf = make([]T, 64)
+	}
+	p := &s.buf[0]
+	s.buf = s.buf[1:]
+	return p
 }
 
 // Parse builds the AST for a MicroC translation unit.
@@ -593,7 +611,9 @@ func (p *parser) parseBinary(level int) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		lhs = &BinExpr{Op: matched, L: lhs, R: rhs}
+		bin := p.bins.new()
+		bin.Op, bin.L, bin.R = matched, lhs, rhs
+		lhs = bin
 	}
 }
 
@@ -672,7 +692,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch {
 	case t.kind == tokNumber || t.kind == tokChar:
 		p.advance()
-		return &NumLit{Val: int32(t.val)}, nil
+		n := p.numLits.new()
+		n.Val = int32(t.val)
+		return n, nil
 	case t.kind == tokIdent:
 		name := p.advance().text
 		if p.atPunct("(") {
@@ -695,7 +717,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 			}
 			return call, nil
 		}
-		return &Ident{Name: name}, nil
+		id := p.idents.new()
+		id.Name = name
+		return id, nil
 	case p.atPunct("("):
 		p.advance()
 		x, err := p.parseExpr()

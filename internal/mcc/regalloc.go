@@ -35,18 +35,23 @@ type allocation struct {
 type tacBlock struct {
 	start, end int // [start, end)
 	succs      []int
-	liveIn     map[Temp]bool
-	liveOut    map[Temp]bool
+	liveIn     tempSet
+	liveOut    tempSet
 }
 
 // buildBlocks splits the function into basic blocks and wires successors.
 func buildBlocks(f *tacFunc) []*tacBlock {
 	ranges := blockRanges(f)
 	blocks := make([]*tacBlock, len(ranges))
+	store := make([]tacBlock, len(ranges))
+	words := tempWords(f.NTemp)
+	backing := make([]uint64, 2*len(ranges)*words)
 	labelBlock := make(map[string]int)
 	for i, r := range ranges {
-		blocks[i] = &tacBlock{start: r[0], end: r[1],
-			liveIn: make(map[Temp]bool), liveOut: make(map[Temp]bool)}
+		store[i] = tacBlock{start: r[0], end: r[1],
+			liveIn:  tempSet(backing[2*i*words : (2*i+1)*words]),
+			liveOut: tempSet(backing[(2*i+1)*words : (2*i+2)*words])}
+		blocks[i] = &store[i]
 		if f.Ins[r[0]].Kind == iLabel {
 			labelBlock[f.Ins[r[0]].Sym] = i
 		}
@@ -92,47 +97,41 @@ func buildBlocks(f *tacFunc) []*tacBlock {
 
 // liveness computes live-in/out sets per block by iteration to fixpoint.
 func liveness(f *tacFunc, blocks []*tacBlock) {
-	type genKill struct {
-		gen  map[Temp]bool
-		kill map[Temp]bool
-	}
-	gks := make([]genKill, len(blocks))
+	n := len(blocks)
+	words := tempWords(f.NTemp)
+	backing := make([]uint64, 2*n*words)
+	gen := make([]tempSet, n)
+	kill := make([]tempSet, n)
+	var ub [4]Temp
 	for i, b := range blocks {
-		gk := genKill{gen: make(map[Temp]bool), kill: make(map[Temp]bool)}
+		gen[i] = tempSet(backing[2*i*words : (2*i+1)*words])
+		kill[i] = tempSet(backing[(2*i+1)*words : (2*i+2)*words])
 		for j := b.start; j < b.end; j++ {
 			in := &f.Ins[j]
-			for _, u := range in.uses() {
-				if !gk.kill[u] {
-					gk.gen[u] = true
+			for _, u := range in.appendUses(ub[:0]) {
+				if !kill[i].has(u) {
+					gen[i].set(u)
 				}
 			}
 			if d, ok := in.def(); ok {
-				gk.kill[d] = true
+				kill[i].set(d)
 			}
 		}
-		gks[i] = gk
 	}
 	for changed := true; changed; {
 		changed = false
 		for i := len(blocks) - 1; i >= 0; i-- {
 			b := blocks[i]
 			for _, s := range b.succs {
-				for t := range blocks[s].liveIn {
-					if !b.liveOut[t] {
-						b.liveOut[t] = true
-						changed = true
-					}
-				}
-			}
-			for t := range b.liveOut {
-				if !gks[i].kill[t] && !b.liveIn[t] {
-					b.liveIn[t] = true
+				if b.liveOut.or(blocks[s].liveIn) {
 					changed = true
 				}
 			}
-			for t := range gks[i].gen {
-				if !b.liveIn[t] {
-					b.liveIn[t] = true
+			// liveIn = gen ∪ (liveOut − kill), accumulated word-wise.
+			for w := range b.liveIn {
+				nw := b.liveIn[w] | gen[i][w] | (b.liveOut[w] &^ kill[i][w])
+				if nw != b.liveIn[w] {
+					b.liveIn[w] = nw
 					changed = true
 				}
 			}
@@ -150,25 +149,33 @@ type interval struct {
 // computeIntervals builds conservative live intervals and marks temps live
 // across calls.
 func computeIntervals(f *tacFunc, blocks []*tacBlock) []interval {
-	const unset = -1
-	start := make(map[Temp]int)
-	end := make(map[Temp]int)
+	// start < 0 marks a temp never touched; start and end are always
+	// stamped together.
+	start := make([]int32, f.NTemp)
+	end := make([]int32, f.NTemp)
+	for i := range start {
+		start[i] = -1
+	}
 	touch := func(t Temp, i int) {
-		if s, ok := start[t]; !ok || i < s {
-			start[t] = i
+		if start[t] < 0 {
+			start[t], end[t] = int32(i), int32(i)
+			return
 		}
-		if e, ok := end[t]; !ok || i > e {
-			end[t] = i
+		if int32(i) < start[t] {
+			start[t] = int32(i)
+		}
+		if int32(i) > end[t] {
+			end[t] = int32(i)
 		}
 	}
-	_ = unset
 	// Parameters are defined at entry.
 	for _, p := range f.Params {
 		touch(p, 0)
 	}
+	var ub [4]Temp
 	for i := range f.Ins {
 		in := &f.Ins[i]
-		for _, u := range in.uses() {
+		for _, u := range in.appendUses(ub[:0]) {
 			touch(u, i)
 		}
 		if d, ok := in.def(); ok {
@@ -176,40 +183,37 @@ func computeIntervals(f *tacFunc, blocks []*tacBlock) []interval {
 		}
 	}
 	for _, b := range blocks {
-		for t := range b.liveIn {
-			touch(t, b.start)
-		}
-		for t := range b.liveOut {
-			touch(t, b.end-1)
-		}
+		bb := b
+		bb.liveIn.forEach(func(t Temp) { touch(t, bb.start) })
+		bb.liveOut.forEach(func(t Temp) { touch(t, bb.end-1) })
 	}
 
-	across := make(map[Temp]bool)
+	across := newTempSet(f.NTemp)
+	live := newTempSet(f.NTemp)
 	for _, b := range blocks {
 		// Per-instruction liveness backward within the block.
-		live := make(map[Temp]bool)
-		for t := range b.liveOut {
-			live[t] = true
-		}
+		live.reset()
+		live.or(b.liveOut)
 		for j := b.end - 1; j >= b.start; j-- {
 			in := &f.Ins[j]
 			if d, ok := in.def(); ok {
-				delete(live, d)
+				live.clear(d)
 			}
 			if in.Kind == iCall {
-				for t := range live {
-					across[t] = true
-				}
+				across.or(live)
 			}
-			for _, u := range in.uses() {
-				live[u] = true
+			for _, u := range in.appendUses(ub[:0]) {
+				live.set(u)
 			}
 		}
 	}
 
-	ivs := make([]interval, 0, len(start))
-	for t, s := range start {
-		ivs = append(ivs, interval{t: t, start: s, end: end[t], acrossCall: across[t]})
+	var ivs []interval
+	for t := Temp(0); int(t) < f.NTemp; t++ {
+		if start[t] < 0 {
+			continue
+		}
+		ivs = append(ivs, interval{t: t, start: int(start[t]), end: int(end[t]), acrossCall: across.has(t)})
 	}
 	sort.Slice(ivs, func(i, j int) bool {
 		if ivs[i].start != ivs[j].start {

@@ -163,10 +163,16 @@ func (f *tacFunc) String() string {
 
 // uses returns the temps read by the instruction.
 func (in *ins) uses() []Temp {
-	var out []Temp
+	return in.appendUses(nil)
+}
+
+// appendUses appends the temps the instruction reads to dst and returns
+// the extended slice; a caller-held buffer of capacity 4 (the argument
+// register count bounds iCall) keeps the analysis loops allocation-free.
+func (in *ins) appendUses(dst []Temp) []Temp {
 	add := func(o Operand) {
 		if !o.IsConst {
-			out = append(out, o.Temp)
+			dst = append(dst, o.Temp)
 		}
 	}
 	switch in.Kind {
@@ -189,7 +195,7 @@ func (in *ins) uses() []Temp {
 			add(in.A)
 		}
 	}
-	return out
+	return dst
 }
 
 // def returns the temp written by the instruction, if any.

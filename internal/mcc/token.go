@@ -84,7 +84,10 @@ type lexer struct {
 // lex tokenizes src. It returns a descriptive error with line/column on any
 // malformed input.
 func lex(src string) ([]token, error) {
-	lx := &lexer{src: src, line: 1, col: 1}
+	// One token per ~4 source bytes is a close upper estimate for MicroC;
+	// reserving it up front avoids the append-growth copies on every
+	// compile.
+	lx := &lexer{src: src, line: 1, col: 1, toks: make([]token, 0, len(src)/4+16)}
 	for {
 		lx.skipSpaceAndComments()
 		if lx.pos >= len(lx.src) {

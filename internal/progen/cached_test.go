@@ -64,12 +64,35 @@ func TestCachedRunDifferential(t *testing.T) {
 				t.Fatalf("seed %d O%d: warm cached run differs from uncached:\n--- uncached ---\n%s--- warm ---\n%s\n%s",
 					p.Seed, lvl, want, got, p.Source)
 			}
+
+			// Vary an evaluate-stage option: the assembled-analysis cache
+			// misses (its key covers partition options) but every inner
+			// stage cache hits, and the result must still match an
+			// uncached run under the same options.
+			opts2 := opts
+			opts2.Partition.CoverageTarget = 0.85
+			cold2, err := core.Run(img, opts2)
+			if err != nil {
+				t.Fatalf("seed %d O%d: uncached varied run: %v", p.Seed, lvl, err)
+			}
+			warm2, err := core.RunWith(img, opts2, caches)
+			if err != nil {
+				t.Fatalf("seed %d O%d: cached varied run: %v", p.Seed, lvl, err)
+			}
+			if got, want2 := reportFingerprint(warm2), reportFingerprint(cold2); got != want2 {
+				t.Fatalf("seed %d O%d: varied cached run differs from uncached:\n--- uncached ---\n%s--- cached ---\n%s\n%s",
+					p.Seed, lvl, want2, got, p.Source)
+			}
 		}
 	}
 
-	// The warm runs must actually have been served from the cache: with
-	// 12 programs x 2 levels each run twice, at least half of all
-	// sim/lift lookups are repeats.
+	// The warm runs must actually have been served from the cache: the
+	// second RunWith of every (program, level) pair hits the assembled
+	// Analysis cache, and the varied-options runs hit the inner stage
+	// caches underneath a fresh analysis.
+	if st := caches.Analysis.Stats(); st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("analysis cache saw no reuse: %+v", st)
+	}
 	st := caches.Sim.Stats()
 	if st.Hits == 0 {
 		t.Errorf("sim cache recorded no hits: %+v", st)
