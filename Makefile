@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench experiments
+.PHONY: build test race vet check bench experiments obs-smoke
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,16 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build test race
+# One traced golden run: exercises -trace/-stats/-manifest end to end on
+# the T1 sweep (the golden test separately pins that tracing never moves
+# a byte of the table). Artifacts land in /tmp for inspection.
+obs-smoke:
+	$(GO) run ./cmd/experiments -table 1 -j 8 \
+		-trace /tmp/binpart-t1-trace.jsonl \
+		-manifest /tmp/binpart-t1-manifest.json \
+		-stats >/dev/null
+
+check: vet build test race obs-smoke
 
 # Runs every benchmark and distills the results (per-stage ns/op plus the
 # T1 headline custom metrics) into BENCH.json via cmd/benchjson. The text

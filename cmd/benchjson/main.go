@@ -142,7 +142,23 @@ func diffReports(w io.Writer, old, cur Report) []string {
 		for _, unit := range []string{"ns/op", "allocs/op"} {
 			nv, haveNew := b.Metrics[unit]
 			ov, haveOld := ob.Metrics[unit]
-			if !haveNew || !haveOld || ov == 0 {
+			if !haveNew || !haveOld {
+				continue
+			}
+			if ov == 0 {
+				// A zero baseline has no relative delta, but it must not
+				// unhook the gate: a stage that reached 0 allocs/op and
+				// regresses to N would otherwise pass CI silently
+				// forever. Gate any absolute growth from zero.
+				if nv == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "  %-28s %-9s %12.0f -> %12.0f  (from zero)\n", b.Name, unit, ov, nv)
+				if !gated || (unit == "ns/op" && !cpuMatch) {
+					continue
+				}
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s grew from a zero baseline to %g", b.Name, unit, nv))
 				continue
 			}
 			delta := nv/ov - 1

@@ -43,11 +43,53 @@ func TestDiffReportsIgnoresUngatedAndTolerated(t *testing.T) {
 		bench("StageSim", 1000, 100),
 		bench("Figure1AreaSweep", 1000, 100))
 	cur := report("cpuA",
-		bench("StageSim", 1050, 105),        // within 10%
+		bench("StageSim", 1050, 105),         // within 10%
 		bench("Figure1AreaSweep", 9000, 900), // regressed but not Stage*
 	)
 	if regs := diffReports(io.Discard, old, cur); len(regs) != 0 {
 		t.Fatalf("want no regressions, got %v", regs)
+	}
+}
+
+// TestDiffReportsZeroBaseline is the regression test for the zero-baseline
+// hole: a Stage* benchmark that reached 0 allocs/op and then regressed to
+// N used to slip past the gate because a relative delta over zero is
+// undefined. Any absolute growth from a zero baseline must now gate.
+func TestDiffReportsZeroBaseline(t *testing.T) {
+	old := report("cpuA", bench("StageEvaluate", 1000, 0))
+	cur := report("cpuA", bench("StageEvaluate", 1000, 3)) // 0 -> 3 allocs
+	regs := diffReports(io.Discard, old, cur)
+	if len(regs) != 1 {
+		t.Fatalf("zero-baseline allocs growth not gated: %v", regs)
+	}
+	if !strings.Contains(regs[0], "StageEvaluate allocs/op") || !strings.Contains(regs[0], "zero baseline") {
+		t.Fatalf("unexpected regression text: %q", regs[0])
+	}
+}
+
+// TestDiffReportsZeroBaselineClean checks the quiet cases around zero:
+// zero staying zero passes, ungated benchmarks never gate, and a
+// zero-baseline ns/op growth on a different CPU stays advisory (wall
+// clock does not transfer across machines, zero baseline or not).
+func TestDiffReportsZeroBaselineClean(t *testing.T) {
+	old := report("cpuA",
+		bench("StageEvaluate", 1000, 0),
+		bench("Figure1AreaSweep", 1000, 0))
+	cur := report("cpuA",
+		bench("StageEvaluate", 1000, 0),     // still zero
+		bench("Figure1AreaSweep", 1000, 50)) // grew, but not Stage*
+	if regs := diffReports(io.Discard, old, cur); len(regs) != 0 {
+		t.Fatalf("want no regressions, got %v", regs)
+	}
+
+	oldNs := report("cpuA", bench("StageSim", 0, 10))
+	curNs := report("cpuB", bench("StageSim", 500, 10)) // ns/op from zero, other machine
+	if regs := diffReports(io.Discard, oldNs, curNs); len(regs) != 0 {
+		t.Fatalf("cross-CPU zero-baseline ns/op should not gate: %v", regs)
+	}
+	curSame := report("cpuA", bench("StageSim", 500, 10)) // same machine: gate
+	if regs := diffReports(io.Discard, oldNs, curSame); len(regs) != 1 {
+		t.Fatalf("same-CPU zero-baseline ns/op growth not gated: %v", regs)
 	}
 }
 

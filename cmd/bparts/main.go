@@ -17,6 +17,11 @@
 // The sweep modes analyze each binary once (profile, decompile,
 // synthesize) and price every sweep point with core.Evaluate, so a
 // full-catalog sweep costs barely more than a single run.
+//
+// Observability: -trace streams per-stage spans as JSONL, -stats prints
+// the per-stage and cache tables to stderr (-cachestats is the old alias),
+// -manifest writes a run manifest, and -debug-addr serves expvar +
+// net/pprof. All of it is off — and alloc-free — by default.
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"binpart/internal/binimg"
 	"binpart/internal/core"
 	"binpart/internal/fpga"
+	"binpart/internal/obs"
 	"binpart/internal/platform"
 	"binpart/internal/vhdl"
 )
@@ -47,7 +53,11 @@ func main() {
 	vhdlDir := flag.String("vhdl", "", "directory to write VHDL for selected regions")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size when partitioning several binaries")
 	cacheDir := flag.String("cachedir", "", "directory for the on-disk stage cache (empty: memory only)")
-	cacheStats := flag.Bool("cachestats", false, "print cache hit/miss/eviction counters to stderr")
+	stats := flag.Bool("stats", false, "print per-stage span and cache counters to stderr")
+	cacheStats := flag.Bool("cachestats", false, "alias for -stats (the old cache-only counters)")
+	trace := flag.String("trace", "", "stream per-stage spans to this file as JSONL")
+	manifestPath := flag.String("manifest", "", "write a run manifest (config, git, per-stage totals, cache accounting) to this JSON file")
+	debugAddr := flag.String("debug-addr", "", "serve expvar + net/pprof on this address (e.g. :6060)")
 	sweep := flag.String("sweep", "", "sweep mode: devices (Virtex-II catalog) or clocks (see -clocks)")
 	clockList := flag.String("clocks", "40,100,200,400", "CPU clocks in MHz for -sweep clocks")
 	flag.Parse()
@@ -99,6 +109,29 @@ func main() {
 		}
 	}
 
+	// A recorder only when some surface will read it; nil keeps the flow
+	// on its alloc-free fast path.
+	var rec *obs.Recorder
+	if *trace != "" || *stats || *cacheStats || *manifestPath != "" || *debugAddr != "" {
+		rec = obs.NewRecorder()
+	}
+	var traceFile *os.File
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		rec.StreamTo(f)
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, rec, caches.StatsMap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/vars\n", addr)
+	}
+
 	paths := flag.Args()
 	outputs := make([]string, len(paths))
 	errs := make([]error, len(paths))
@@ -113,16 +146,19 @@ func main() {
 	var wg sync.WaitGroup
 	for w := 0; w < pool; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobCh {
+				sc := rec.Scope(paths[i], -1, worker)
+				sp := sc.Start(obs.StageJob)
 				if *sweep != "" {
-					outputs[i], errs[i] = sweepOne(paths[i], opts, caches, *sweep, clocks, len(paths) > 1)
+					outputs[i], errs[i] = sweepOne(paths[i], opts, caches, *sweep, clocks, len(paths) > 1, sc)
 				} else {
-					outputs[i], errs[i] = partitionOne(paths[i], opts, caches, *structure, *vhdlDir, len(paths) > 1)
+					outputs[i], errs[i] = partitionOne(paths[i], opts, caches, *structure, *vhdlDir, len(paths) > 1, sc)
 				}
+				sp.End()
 			}
-		}()
+		}(w)
 	}
 	for i := range paths {
 		jobCh <- i
@@ -139,15 +175,30 @@ func main() {
 		}
 		fmt.Print(outputs[i])
 	}
-	if *cacheStats {
+	if *stats || *cacheStats {
+		fmt.Fprint(os.Stderr, rec.Table())
 		fmt.Fprint(os.Stderr, caches.StatsString())
+	}
+	if traceFile != nil {
+		if err := rec.Flush(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+	}
+	if *manifestPath != "" {
+		m := obs.BuildManifest("bparts", os.Args[1:], pool, rec, caches.StatsMap())
+		if err := m.Write(*manifestPath); err != nil {
+			fatal(fmt.Errorf("manifest: %w", err))
+		}
 	}
 }
 
 // sweepOne analyzes one binary once and prices every sweep point with
 // core.Evaluate.
 func sweepOne(path string, opts core.Options, caches *core.Caches,
-	mode string, clocks []float64, multi bool) (string, error) {
+	mode string, clocks []float64, multi bool, sc *obs.Scope) (string, error) {
 
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -157,7 +208,7 @@ func sweepOne(path string, opts core.Options, caches *core.Caches,
 	if err != nil {
 		return "", err
 	}
-	a, err := core.AnalyzeWith(img, opts, caches)
+	a, err := core.AnalyzeScoped(img, opts, caches, sc)
 	if err != nil {
 		return "", err
 	}
@@ -175,13 +226,13 @@ func sweepOne(path string, opts core.Options, caches *core.Caches,
 	case "devices":
 		fmt.Fprintf(&b, "area sweep (%s @ %.0f MHz, %s):\n", opts.Algorithm, opts.Platform.CPUMHz, "Virtex-II catalog")
 		for _, dev := range fpga.Catalog {
-			line(dev.Name, core.Evaluate(a, platform.MIPS(opts.Platform.CPUMHz, dev), 0, opts.Algorithm))
+			line(dev.Name, core.EvaluateScoped(a, platform.MIPS(opts.Platform.CPUMHz, dev), 0, opts.Algorithm, sc))
 		}
 	case "clocks":
 		fmt.Fprintf(&b, "clock sweep (%s, %s):\n", opts.Algorithm, opts.Platform.Device.Name)
 		for _, mhz := range clocks {
 			label := fmt.Sprintf("%.0fMHz", mhz)
-			line(label, core.Evaluate(a, platform.MIPS(mhz, opts.Platform.Device), 0, opts.Algorithm))
+			line(label, core.EvaluateScoped(a, platform.MIPS(mhz, opts.Platform.Device), 0, opts.Algorithm, sc))
 		}
 	}
 	return b.String(), nil
@@ -189,7 +240,7 @@ func sweepOne(path string, opts core.Options, caches *core.Caches,
 
 // partitionOne runs the flow on one binary and renders its report.
 func partitionOne(path string, opts core.Options, caches *core.Caches,
-	structure bool, vhdlDir string, multi bool) (string, error) {
+	structure bool, vhdlDir string, multi bool, sc *obs.Scope) (string, error) {
 
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -199,7 +250,7 @@ func partitionOne(path string, opts core.Options, caches *core.Caches,
 	if err != nil {
 		return "", err
 	}
-	rep, err := core.RunWith(img, opts, caches)
+	rep, err := core.RunScoped(img, opts, caches, sc)
 	if err != nil {
 		return "", err
 	}

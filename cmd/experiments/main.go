@@ -9,12 +9,16 @@
 //	experiments -ablation    # partitioner + pass ablations
 //	experiments -j 8         # fan sweep points over 8 workers
 //	experiments -cachedir d  # persist the compile cache under d
-//	experiments -cachestats  # print per-stage cache counters to stderr
+//	experiments -trace t.jsonl     # stream per-stage spans as JSONL
+//	experiments -stats             # per-stage span + cache tables to stderr
+//	experiments -manifest m.json   # write the run manifest (config, git, totals)
+//	experiments -debug-addr :6060  # expvar + net/pprof for long sweeps
 //	experiments -cpuprofile p.out  # write a pprof CPU profile of the run
 //	experiments -memprofile m.out  # write a pprof heap profile at exit
 //
-// Tables are byte-identical at any -j: the executor reassembles rows in
-// submission order. The stage cache is shared by every experiment in one
+// Tables are byte-identical at any -j and with tracing on or off: the
+// executor reassembles rows in submission order and the recorder only
+// observes. The stage cache is shared by every experiment in one
 // invocation, so the full run lifts each distinct binary once.
 package main
 
@@ -27,6 +31,7 @@ import (
 
 	"binpart/internal/core"
 	"binpart/internal/exper"
+	"binpart/internal/obs"
 )
 
 func main() {
@@ -36,7 +41,11 @@ func main() {
 	extension := flag.Bool("extension", false, "run the jump-table recovery extension experiment")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size for experiment sweeps")
 	cacheDir := flag.String("cachedir", "", "directory for the on-disk stage cache (empty: memory only)")
-	cacheStats := flag.Bool("cachestats", false, "print cache hit/miss/eviction counters to stderr")
+	stats := flag.Bool("stats", false, "print per-stage span and cache counters to stderr")
+	cacheStats := flag.Bool("cachestats", false, "alias for -stats (the old cache-only counters)")
+	trace := flag.String("trace", "", "stream per-stage spans to this file as JSONL")
+	manifestPath := flag.String("manifest", "", "write a run manifest (config, git, per-stage totals, cache accounting) to this JSON file")
+	debugAddr := flag.String("debug-addr", "", "serve expvar + net/pprof on this address (e.g. :6060) for long sweeps")
 	noCache := flag.Bool("nocache", false, "disable the stage cache entirely")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -79,7 +88,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	// The recorder exists only when some surface will read it; a nil
+	// recorder keeps the pipeline on its alloc-free fast path.
+	var rec *obs.Recorder
+	if *trace != "" || *stats || *cacheStats || *manifestPath != "" || *debugAddr != "" {
+		rec = obs.NewRecorder()
+	}
+	var traceFile *os.File
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		traceFile = f
+		rec.StreamTo(f)
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, rec, caches.StatsMap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/vars\n", addr)
+	}
+
 	runner := exper.NewRunner(*workers, caches)
+	runner.Obs = rec
 
 	all := *table == 0 && *figure == 0 && !*ablation && !*extension
 	run := func(name string, f func() (fmt.Stringer, error)) {
@@ -114,8 +150,26 @@ func main() {
 		run("extension 1", func() (fmt.Stringer, error) { return wrap(runner.JumpTableExtension()) })
 	}
 
-	if *cacheStats {
+	if *stats || *cacheStats {
+		fmt.Fprint(os.Stderr, rec.Table())
 		fmt.Fprint(os.Stderr, caches.StatsString())
+	}
+	if traceFile != nil {
+		if err := rec.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *manifestPath != "" {
+		m := obs.BuildManifest("experiments", os.Args[1:], *workers, rec, caches.StatsMap())
+		if err := m.Write(*manifestPath); err != nil {
+			fmt.Fprintf(os.Stderr, "manifest: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -3,21 +3,33 @@
 // "different FPGA sizes" evaluation enables.
 //
 //	go run ./examples/fpgasweep
+//	go run ./examples/fpgasweep -stats   # per-stage span table on stderr
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"binpart/internal/bench"
 	"binpart/internal/core"
 	"binpart/internal/fpga"
+	"binpart/internal/obs"
 	"binpart/internal/platform"
 )
 
 const speedupGoal = 8.0
 
 func main() {
+	stats := flag.Bool("stats", false, "print the per-stage span table to stderr")
+	flag.Parse()
+
+	var rec *obs.Recorder
+	if *stats {
+		rec = obs.NewRecorder()
+	}
+
 	workload := []string{"fir", "brev", "autcor"}
 	fmt.Printf("workload: %v, goal: %.1fx average speedup\n\n", workload, speedupGoal)
 	fmt.Printf("%-10s %9s %9s %9s   %s\n", "device", "slices", "mult18", "speedup", "verdict")
@@ -26,6 +38,7 @@ func main() {
 	// observe the FPGA device, so analyze each binary once and price
 	// every device with a microsecond Evaluate call.
 	var analyses []*core.Analysis
+	var scopes []*obs.Scope
 	for _, name := range workload {
 		b, ok := bench.ByName(name)
 		if !ok {
@@ -35,18 +48,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		a, err := core.Analyze(img, core.DefaultOptions())
+		sc := rec.Scope(name, 1, 0)
+		a, err := core.AnalyzeScoped(img, core.DefaultOptions(), nil, sc)
 		if err != nil {
 			log.Fatal(err)
 		}
 		analyses = append(analyses, a)
+		scopes = append(scopes, sc)
 	}
 
 	var pick string
 	for _, dev := range fpga.Catalog {
 		var sum float64
-		for _, a := range analyses {
-			rep := core.Evaluate(a, platform.MIPS(200, dev), 0, core.AlgNinetyTen)
+		for i, a := range analyses {
+			rep := core.EvaluateScoped(a, platform.MIPS(200, dev), 0, core.AlgNinetyTen, scopes[i])
 			sum += rep.Metrics.AppSpeedup
 		}
 		avg := sum / float64(len(analyses))
@@ -59,6 +74,9 @@ func main() {
 			}
 		}
 		fmt.Printf("%-10s %9d %9d %8.2fx   %s\n", dev.Name, dev.Slices, dev.Mult18, avg, verdict)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, rec.Table())
 	}
 	if pick == "" {
 		fmt.Println("\nno device in the catalog meets the goal")

@@ -123,12 +123,54 @@ func (h *Hasher) Sum() Key {
 
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
-	Hits      uint64 // memory hits, including coalesced in-flight waits
-	Misses    uint64 // full computes
-	Evictions uint64 // LRU entries dropped at capacity
-	DiskHits  uint64 // misses served from the disk layer
-	Waits     uint64 // GetOrCompute calls that blocked on another caller's in-flight compute
-	Entries   int    // current in-memory entry count
+	Hits      uint64 `json:"hits"`    // memory hits, including disk hits and coalesced in-flight waits
+	Misses    uint64 `json:"misses"`  // full computes, including recomputes after a corrupt blob
+	Evictions uint64 `json:"evict"`   // LRU entries dropped at capacity
+	DiskHits  uint64 `json:"disk"`    // misses served from the disk layer
+	Waits     uint64 `json:"waits"`   // GetOrCompute calls that blocked on another caller's in-flight compute
+	Corrupt   uint64 `json:"corrupt"` // disk blobs that failed to decode (deleted, treated as misses)
+	Entries   int    `json:"entries"` // current in-memory entry count
+}
+
+// Outcome classifies how one cache lookup was served. It is the per-call
+// counterpart of the aggregate Stats counters: observability spans record
+// an Outcome per stage execution, and summing span outcomes per stage
+// reconciles with the stage cache's Stats (hits = hit + wait + disk,
+// misses = miss + corrupt).
+type Outcome uint8
+
+const (
+	// OutcomeNone marks uncached work: no cache was attached, so the
+	// value was computed directly and no counter moved.
+	OutcomeNone Outcome = iota
+	// OutcomeHit is a memory hit.
+	OutcomeHit
+	// OutcomeMiss is a full compute.
+	OutcomeMiss
+	// OutcomeWait is a coalesced wait on another caller's in-flight
+	// compute (counted as a hit in Stats, plus the Waits counter).
+	OutcomeWait
+	// OutcomeDisk is a memory miss served from the disk layer.
+	OutcomeDisk
+	// OutcomeCorrupt is a disk blob that failed to decode: the file was
+	// deleted and the value recomputed (a miss in Stats, plus Corrupt).
+	OutcomeCorrupt
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeWait:
+		return "wait"
+	case OutcomeDisk:
+		return "disk"
+	case OutcomeCorrupt:
+		return "corrupt"
+	}
+	return ""
 }
 
 type entry[V any] struct {
@@ -171,6 +213,7 @@ type Cache[V any] struct {
 	evictions atomic.Uint64
 	diskHits  atomic.Uint64
 	waits     atomic.Uint64
+	corrupt   atomic.Uint64
 
 	disk  *DiskStore
 	codec *Codec[V]
@@ -214,7 +257,7 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if v, ok := c.lookupLocked(k); ok {
+	if v, _, ok := c.lookupLocked(k); ok {
 		return v, true
 	}
 	c.misses.Add(1)
@@ -259,26 +302,37 @@ func (c *Cache[V]) drainPendingLocked() {
 }
 
 // lookupLocked checks memory then disk; it records hits but not misses,
-// so callers decide how a miss is counted. Callers hold the write lock.
-func (c *Cache[V]) lookupLocked(k Key) (V, bool) {
+// so callers decide how a miss is counted. The returned Outcome is
+// OutcomeHit or OutcomeDisk when found, and OutcomeMiss or OutcomeCorrupt
+// when not. Callers hold the write lock.
+func (c *Cache[V]) lookupLocked(k Key) (V, Outcome, bool) {
 	c.drainPendingLocked()
 	if e, ok := c.items[k]; ok {
 		c.ll.MoveToFront(e)
 		c.hits.Add(1)
-		return e.Value.(*entry[V]).val, true
+		return e.Value.(*entry[V]).val, OutcomeHit, true
 	}
+	var zero V
 	if c.disk != nil && c.codec != nil {
 		if data, ok := c.disk.Get(k); ok {
-			if v, err := c.codec.Unmarshal(data); err == nil {
+			v, err := c.codec.Unmarshal(data)
+			if err == nil {
 				c.insertLocked(k, v, false)
 				c.hits.Add(1)
 				c.diskHits.Add(1)
-				return v, true
+				return v, OutcomeDisk, true
 			}
+			// Corrupt or truncated blob: were it returned, the caller
+			// would fail (or poison the memory layer) on a value the
+			// codec itself rejects. Count it, delete the file so no
+			// later run trips over it, and fall through to a miss — the
+			// recompute rewrites a good blob.
+			c.corrupt.Add(1)
+			c.disk.Delete(k) //nolint:errcheck // best effort, like Put
+			return zero, OutcomeCorrupt, false
 		}
 	}
-	var zero V
-	return zero, false
+	return zero, OutcomeMiss, false
 }
 
 // Put inserts (or refreshes) a value, evicting the least recently used
@@ -318,16 +372,26 @@ func (c *Cache[V]) insertLocked(k Key, v V, writeDisk bool) {
 // rest wait and share the result (a waiter counts as a hit, and also as a
 // wait — the contention-visible counter). Errors are not cached.
 func (c *Cache[V]) GetOrCompute(k Key, fn func() (V, error)) (V, error) {
+	v, _, err := c.GetOrComputeOutcome(k, fn)
+	return v, err
+}
+
+// GetOrComputeOutcome is GetOrCompute reporting how the call was served,
+// so observability spans can attribute cache behavior per stage execution
+// without re-deriving it from counter deltas.
+func (c *Cache[V]) GetOrComputeOutcome(k Key, fn func() (V, error)) (V, Outcome, error) {
 	if c == nil {
-		return fn()
+		v, err := fn()
+		return v, OutcomeNone, err
 	}
 	if v, ok := c.fastGet(k); ok {
-		return v, nil
+		return v, OutcomeHit, nil
 	}
 	c.mu.Lock()
-	if v, ok := c.lookupLocked(k); ok {
+	v, out, ok := c.lookupLocked(k)
+	if ok {
 		c.mu.Unlock()
-		return v, nil
+		return v, out, nil
 	}
 	if fl, ok := c.inflight[k]; ok {
 		c.hits.Add(1)
@@ -336,9 +400,9 @@ func (c *Cache[V]) GetOrCompute(k Key, fn func() (V, error)) (V, error) {
 		<-fl.done
 		if fl.err != nil {
 			var zero V
-			return zero, fl.err
+			return zero, OutcomeWait, fl.err
 		}
-		return fl.val, nil
+		return fl.val, OutcomeWait, nil
 	}
 	c.misses.Add(1)
 	fl := &inflightCall[V]{done: make(chan struct{})}
@@ -355,7 +419,8 @@ func (c *Cache[V]) GetOrCompute(k Key, fn func() (V, error)) (V, error) {
 		c.insertLocked(k, fl.val, true)
 	}
 	c.mu.Unlock()
-	return fl.val, fl.err
+	// out distinguishes a clean miss from a corrupt-blob recompute.
+	return fl.val, out, fl.err
 }
 
 // Len returns the current entry count.
@@ -379,6 +444,7 @@ func (c *Cache[V]) Stats() Stats {
 		Evictions: c.evictions.Load(),
 		DiskHits:  c.diskHits.Load(),
 		Waits:     c.waits.Load(),
+		Corrupt:   c.corrupt.Load(),
 	}
 	c.mu.RLock()
 	s.Entries = c.ll.Len()

@@ -1,8 +1,11 @@
 package cache
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -239,5 +242,119 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 	c3 := New[string](4).WithDisk(store, bad)
 	if _, ok := c3.Get(k2); ok {
 		t.Error("corrupt blob served")
+	}
+}
+
+// lengthCodec is a codec whose unmarshal actually validates the blob: a
+// 4-byte length prefix followed by the payload. Truncating the file makes
+// decode fail, the way a torn write corrupts a real .sbc entry.
+var lengthCodec = Codec[string]{
+	Marshal: func(s string) ([]byte, error) {
+		b := make([]byte, 4+len(s))
+		binary.LittleEndian.PutUint32(b, uint32(len(s)))
+		copy(b[4:], s)
+		return b, nil
+	},
+	Unmarshal: func(b []byte) (string, error) {
+		if len(b) < 4 {
+			return "", fmt.Errorf("short blob: %d bytes", len(b))
+		}
+		n := binary.LittleEndian.Uint32(b)
+		if uint32(len(b)-4) != n {
+			return "", fmt.Errorf("truncated blob: have %d want %d", len(b)-4, n)
+		}
+		return string(b[4:]), nil
+	},
+}
+
+// TestCorruptBlobRecovery is the regression test for the silent-corruption
+// bug: a truncated .sbc blob must be treated as a miss (never served), be
+// counted in the Corrupt stat, be deleted from disk, and be rewritten by
+// the recompute — so a warm rerun over a damaged cache directory produces
+// exactly the cold run's results.
+func TestCorruptBlobRecovery(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewHasher("sim").String("fir").Int(2).Sum()
+	compute := func() (string, error) { return "profile-data", nil }
+
+	// Cold run: compute and persist.
+	cold := New[string](4).WithDisk(store, lengthCodec)
+	coldVal, err := cold.GetOrCompute(k, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the blob on disk, as a torn write or partial copy would.
+	blobPath := filepath.Join(dir, k.String()+".sbc")
+	data, err := os.ReadFile(blobPath)
+	if err != nil {
+		t.Fatalf("blob not persisted: %v", err)
+	}
+	if err := os.WriteFile(blobPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm rerun in a fresh process (new cache, same directory): the
+	// corrupt blob must not be served; the recompute must match cold.
+	warm := New[string](4).WithDisk(store, lengthCodec)
+	warmVal, out, err := warm.GetOrComputeOutcome(k, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmVal != coldVal {
+		t.Errorf("warm value %q != cold value %q", warmVal, coldVal)
+	}
+	if out != OutcomeCorrupt {
+		t.Errorf("outcome = %v, want corrupt", out)
+	}
+	s := warm.Stats()
+	if s.Corrupt != 1 {
+		t.Errorf("corrupt stat = %d, want 1", s.Corrupt)
+	}
+	if s.Misses != 1 || s.Hits != 0 || s.DiskHits != 0 {
+		t.Errorf("stats = %+v, want exactly one miss", s)
+	}
+
+	// The recompute must have replaced the damaged blob with a good one:
+	// a third cold cache now serves it from disk.
+	third := New[string](4).WithDisk(store, lengthCodec)
+	v, out, err := third.GetOrComputeOutcome(k, func() (string, error) {
+		t.Error("recompute ran; corrupt blob was not rewritten")
+		return "", nil
+	})
+	if err != nil || v != coldVal {
+		t.Fatalf("disk reread = %q, %v", v, err)
+	}
+	if out != OutcomeDisk {
+		t.Errorf("outcome = %v, want disk", out)
+	}
+}
+
+// TestCorruptBlobDeleted checks the delete half in isolation: after the
+// corrupt lookup the damaged file is gone even if nothing recomputes (a
+// plain Get), so later runs do not trip over it again.
+func TestCorruptBlobDeleted(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewHasher("t").String("victim").Sum()
+	if err := store.Put(k, []byte{1, 2}); err != nil { // too short for lengthCodec
+		t.Fatal(err)
+	}
+	c := New[string](4).WithDisk(store, lengthCodec)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("corrupt blob served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, k.String()+".sbc")); !os.IsNotExist(err) {
+		t.Errorf("corrupt blob still on disk (err=%v)", err)
+	}
+	if got := c.Stats().Corrupt; got != 1 {
+		t.Errorf("corrupt stat = %d, want 1", got)
 	}
 }

@@ -47,6 +47,19 @@ func (d *DiskStore) Get(k Key) ([]byte, bool) {
 	return data, true
 }
 
+// Delete removes the blob stored for k; a missing blob is not an error.
+// The cache uses it to drop corrupt entries so they are not retried on
+// every warm run.
+func (d *DiskStore) Delete(k Key) error {
+	if d == nil {
+		return nil
+	}
+	if err := os.Remove(d.path(k)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
 // Put stores the blob for k atomically.
 func (d *DiskStore) Put(k Key, data []byte) error {
 	if d == nil {

@@ -11,6 +11,7 @@ import (
 	"binpart/internal/dopt"
 	"binpart/internal/fpga"
 	"binpart/internal/ir"
+	"binpart/internal/obs"
 	"binpart/internal/partition"
 	"binpart/internal/platform"
 	"binpart/internal/sim"
@@ -78,13 +79,33 @@ func Analyze(img *binimg.Image, opts Options) (*Analysis, error) {
 // that can influence it (the platform, area budget, and algorithm are
 // excluded — they are evaluate-time inputs).
 func AnalyzeWith(img *binimg.Image, opts Options, caches *Caches) (*Analysis, error) {
+	return AnalyzeScoped(img, opts, caches, nil)
+}
+
+// AnalyzeScoped is AnalyzeWith under an observability scope: the analyze
+// stage and its sub-stages (sim, lift, per-region synth) each record a
+// span with their cache outcome. A nil scope records nothing and adds no
+// allocations — the disabled fast path the Stage* benchmark gates hold to
+// zero overhead.
+func AnalyzeScoped(img *binimg.Image, opts Options, caches *Caches, sc *obs.Scope) (*Analysis, error) {
 	opts.Sim.Profile = true
+	sp := sc.Start(obs.StageAnalyze)
+	var a *Analysis
+	var err error
 	if caches != nil && caches.Analysis != nil {
-		return caches.Analysis.GetOrCompute(analysisKey(img.Key(), opts), func() (*Analysis, error) {
-			return computeAnalysis(img, opts, caches)
+		var out cache.Outcome
+		a, out, err = caches.Analysis.GetOrComputeOutcome(analysisKey(img.Key(), opts), func() (*Analysis, error) {
+			return computeAnalysis(img, opts, caches, sc)
 		})
+		sp.SetOutcome(out)
+	} else {
+		a, err = computeAnalysis(img, opts, caches, sc)
 	}
-	return computeAnalysis(img, opts, caches)
+	if a != nil {
+		sp.SetRegions(uint64(len(a.Candidates)))
+	}
+	sp.End()
+	return a, err
 }
 
 // analysisKey covers the image plus every Options field the analysis
@@ -108,7 +129,7 @@ func analysisKey(imgKey cache.Key, opts Options) cache.Key {
 // computeAnalysis is stages 1-4 of the flow (see RunWith's doc): profile,
 // lift, and candidate construction, stopping short of anything that reads
 // the platform.
-func computeAnalysis(img *binimg.Image, opts Options, caches *Caches) (*Analysis, error) {
+func computeAnalysis(img *binimg.Image, opts Options, caches *Caches, sc *obs.Scope) (*Analysis, error) {
 	a := &Analysis{opts: opts}
 
 	var imgKey cache.Key
@@ -117,7 +138,11 @@ func computeAnalysis(img *binimg.Image, opts Options, caches *Caches) (*Analysis
 	}
 
 	// 1. Profile the all-software execution.
-	res, err := simulate(img, opts, imgKey, caches)
+	simSp := sc.Start(obs.StageSim)
+	res, simOut, err := simulate(img, opts, imgKey, caches)
+	simSp.SetOutcome(simOut)
+	simSp.SetInstrs(res.Steps)
+	simSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: software simulation: %w", err)
 	}
@@ -128,13 +153,20 @@ func computeAnalysis(img *binimg.Image, opts Options, caches *Caches) (*Analysis
 	// 2+3. Decompile and run the decompiler optimization pipeline.
 	decOpts := decompile.Options{RecoverJumpTables: opts.RecoverJumpTables}
 	var lr *LiftResult
+	liftSp := sc.Start(obs.StageLift)
 	if caches != nil && caches.Lift != nil {
-		lr, err = caches.Lift.GetOrCompute(liftKey(imgKey, decOpts, opts.Dopt), func() (*LiftResult, error) {
+		var out cache.Outcome
+		lr, out, err = caches.Lift.GetOrComputeOutcome(liftKey(imgKey, decOpts, opts.Dopt), func() (*LiftResult, error) {
 			return computeLift(img, decOpts, opts.Dopt)
 		})
+		liftSp.SetOutcome(out)
 	} else {
 		lr, err = computeLift(img, decOpts, opts.Dopt)
 	}
+	if lr != nil {
+		liftSp.SetRegions(uint64(lr.Recovery.FuncsRecovered))
+	}
+	liftSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +176,7 @@ func computeAnalysis(img *binimg.Image, opts Options, caches *Caches) (*Analysis
 
 	// 4. Build candidates: outermost loops (default), or whole call-free
 	// functions when running at function granularity.
-	sctx := &synthCtx{caches: caches, imgKey: imgKey}
+	sctx := &synthCtx{caches: caches, imgKey: imgKey, obs: sc}
 	for _, f := range lr.Dec.Funcs {
 		if f.Name == "_start" {
 			continue
@@ -179,11 +211,18 @@ func computeAnalysis(img *binimg.Image, opts Options, caches *Caches) (*Analysis
 // and evaluates the chosen partition — microseconds per call. Partition
 // options come from the analysis' recorded options.
 func Evaluate(a *Analysis, p platform.Platform, areaBudgetGates int, alg Algorithm) *Report {
+	return EvaluateScoped(a, p, areaBudgetGates, alg, nil)
+}
+
+// EvaluateScoped is Evaluate under an observability scope: the evaluate
+// stage records one span per call with the number of regions partitioned
+// to hardware. A nil scope records nothing.
+func EvaluateScoped(a *Analysis, p platform.Platform, areaBudgetGates int, alg Algorithm, sc *obs.Scope) *Report {
 	opts := a.opts
 	opts.Platform = p
 	opts.AreaBudgetGates = areaBudgetGates
 	opts.Algorithm = alg
-	return evaluateOpts(a, opts)
+	return evaluateOpts(a, opts, sc)
 }
 
 // evaluateOpts is the platform-dependent tail of the flow: candidate
@@ -191,7 +230,8 @@ func Evaluate(a *Analysis, p platform.Platform, areaBudgetGates int, alg Algorit
 // maps and regions are freshly built per call, so concurrent evaluations
 // of one Analysis are safe and a Report's Selected/Step marks are its
 // own.
-func evaluateOpts(a *Analysis, opts Options) *Report {
+func evaluateOpts(a *Analysis, opts Options, sc *obs.Scope) *Report {
+	sp := sc.Start(obs.StageEvaluate)
 	if opts.Platform.CPUMHz == 0 {
 		opts.Platform = platform.MIPS200
 	}
@@ -272,15 +312,19 @@ func evaluateOpts(a *Analysis, opts Options) *Report {
 		})
 	}
 	rep.Metrics = opts.Platform.Evaluate(a.SWCycles, regions)
+	sp.SetSelected(uint64(len(pres.Selected)))
+	sp.End()
 	return rep
 }
 
-// simulate is stage 1 behind its cache.
-func simulate(img *binimg.Image, opts Options, imgKey cache.Key, caches *Caches) (sim.Result, error) {
+// simulate is stage 1 behind its cache, reporting how the cache served it
+// (OutcomeNone when uncached).
+func simulate(img *binimg.Image, opts Options, imgKey cache.Key, caches *Caches) (sim.Result, cache.Outcome, error) {
 	if caches != nil && caches.Sim != nil {
-		return caches.Sim.GetOrCompute(simKey(imgKey, opts.Sim), func() (sim.Result, error) {
+		return caches.Sim.GetOrComputeOutcome(simKey(imgKey, opts.Sim), func() (sim.Result, error) {
 			return sim.Execute(img, opts.Sim)
 		})
 	}
-	return sim.Execute(img, opts.Sim)
+	res, err := sim.Execute(img, opts.Sim)
+	return res, cache.OutcomeNone, err
 }

@@ -10,6 +10,7 @@ import (
 	"binpart/internal/decompile"
 	"binpart/internal/dopt"
 	"binpart/internal/ir"
+	"binpart/internal/obs"
 	"binpart/internal/sim"
 	"binpart/internal/synth"
 )
@@ -76,22 +77,39 @@ func (c *Caches) WithDisk(dir string) (*Caches, error) {
 	return c, nil
 }
 
+// cacheNames is the rendering order of the stage caches; StatsMap carries
+// the same names as keys, so manifests and the stats table agree.
+var cacheNames = []string{"compile", "sim", "lift", "synth", "analysis"}
+
+// StatsMap snapshots every stage cache's counters, keyed by stage name.
+// This is the accounting surface shared by the -stats table and the run
+// manifest: both render the same snapshot type, so they reconcile exactly.
+func (c *Caches) StatsMap() map[string]cache.Stats {
+	if c == nil {
+		return nil
+	}
+	return map[string]cache.Stats{
+		"compile":  c.Compile.Stats(),
+		"sim":      c.Sim.Stats(),
+		"lift":     c.Lift.Stats(),
+		"synth":    c.Synth.Stats(),
+		"analysis": c.Analysis.Stats(),
+	}
+}
+
 // StatsString formats per-stage hit/miss/eviction counters.
 func (c *Caches) StatsString() string {
 	if c == nil {
 		return "cache: disabled\n"
 	}
+	stats := c.StatsMap()
 	var b strings.Builder
-	b.WriteString("cache  stage      hits   miss  disk  wait  evict  entries\n")
-	row := func(name string, s cache.Stats) {
-		fmt.Fprintf(&b, "cache  %-8s %6d %6d %5d %5d %6d %8d\n",
-			name, s.Hits, s.Misses, s.DiskHits, s.Waits, s.Evictions, s.Entries)
+	b.WriteString("cache  stage      hits   miss  disk  wait  corrupt  evict  entries\n")
+	for _, name := range cacheNames {
+		s := stats[name]
+		fmt.Fprintf(&b, "cache  %-8s %6d %6d %5d %5d %7d %6d %8d\n",
+			name, s.Hits, s.Misses, s.DiskHits, s.Waits, s.Corrupt, s.Evictions, s.Entries)
 	}
-	row("compile", c.Compile.Stats())
-	row("sim", c.Sim.Stats())
-	row("lift", c.Lift.Stats())
-	row("synth", c.Synth.Stats())
-	row("analysis", c.Analysis.Stats())
 	return b.String()
 }
 
@@ -166,14 +184,17 @@ func funcSignature(f *ir.Func) cache.Key {
 	return h.Sum()
 }
 
-// synthCtx threads the synthesis cache through candidate construction.
-// The zero/nil context synthesizes directly.
+// synthCtx threads the synthesis cache and the observability scope
+// through candidate construction. The zero/nil context synthesizes
+// directly and records nothing.
 type synthCtx struct {
 	caches *Caches
 	imgKey cache.Key
 	// sig is the enclosing function's CDFG signature, computed once per
 	// function while building its candidates.
 	sig cache.Key
+	// obs attributes per-region synth spans to the current sweep point.
+	obs *obs.Scope
 }
 
 // synthesize is synth.Synthesize behind the content-addressed cache. The
@@ -184,7 +205,14 @@ type synthCtx struct {
 // what makes the clock and area sweeps nearly free on a warm cache.
 func (sc *synthCtx) synthesize(r synth.Region, img *binimg.Image, opts synth.Options) (*synth.Design, error) {
 	if sc == nil || sc.caches == nil || sc.caches.Synth == nil {
-		return synth.Synthesize(r, img, opts)
+		var scope *obs.Scope
+		if sc != nil {
+			scope = sc.obs
+		}
+		sp := scope.Start(obs.StageSynth)
+		d, err := synth.Synthesize(r, img, opts)
+		sp.End()
+		return d, err
 	}
 	h := cache.NewHasher("synth")
 	h.Bytes(sc.imgKey[:]).Bytes(sc.sig[:]).String(r.Name)
@@ -202,9 +230,13 @@ func (sc *synthCtx) synthesize(r synth.Region, img *binimg.Image, opts synth.Opt
 		}
 	}
 	hashSynthOptions(h, opts)
-	return sc.caches.Synth.GetOrCompute(h.Sum(), func() (*synth.Design, error) {
+	sp := sc.obs.Start(obs.StageSynth)
+	d, out, err := sc.caches.Synth.GetOrComputeOutcome(h.Sum(), func() (*synth.Design, error) {
 		return synth.Synthesize(r, img, opts)
 	})
+	sp.SetOutcome(out)
+	sp.End()
+	return d, err
 }
 
 // LiftResult is the cached product of decompilation plus the decompiler

@@ -26,6 +26,7 @@ import (
 	"binpart/internal/binimg"
 	"binpart/internal/dopt"
 	"binpart/internal/ir"
+	"binpart/internal/obs"
 	"binpart/internal/partition"
 	"binpart/internal/platform"
 	"binpart/internal/sim"
@@ -189,11 +190,19 @@ func Run(img *binimg.Image, opts Options) (*Report, error) {
 // platform, area budget, or algorithm should call AnalyzeWith once and
 // Evaluate per point instead.
 func RunWith(img *binimg.Image, opts Options, caches *Caches) (*Report, error) {
-	a, err := AnalyzeWith(img, opts, caches)
+	return RunScoped(img, opts, caches, nil)
+}
+
+// RunScoped is RunWith under an observability scope (see AnalyzeScoped):
+// every stage of the flow records a span attributed to the scope's
+// benchmark, opt level, and worker. A nil scope records nothing and adds
+// no allocations.
+func RunScoped(img *binimg.Image, opts Options, caches *Caches, sc *obs.Scope) (*Report, error) {
+	a, err := AnalyzeScoped(img, opts, caches, sc)
 	if err != nil {
 		return nil, err
 	}
-	return evaluateOpts(a, opts), nil
+	return evaluateOpts(a, opts, sc), nil
 }
 
 // buildFuncCandidate synthesizes an entire call-free function as one

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"binpart/internal/bench"
 	"binpart/internal/binimg"
 	"binpart/internal/core"
+	"binpart/internal/obs"
 )
 
 // Runner executes experiment sweeps over a bounded worker pool with an
@@ -23,6 +25,10 @@ type Runner struct {
 	// Caches memoizes the compile, simulate, lift, and synthesis stages
 	// across sweep points; nil disables caching.
 	Caches *core.Caches
+	// Obs records per-stage spans for every sweep point, attributed with
+	// the benchmark, opt level, and worker id; nil disables recording
+	// (the alloc-free fast path — tables are byte-identical either way).
+	Obs *obs.Recorder
 }
 
 // NewRunner builds a Runner. workers <= 0 selects GOMAXPROCS; caches may
@@ -54,16 +60,21 @@ func (r *Runner) workers() int {
 // fanOut runs n indexed jobs over a bounded worker pool and returns the
 // results in index order regardless of completion order: workers pull
 // indexes from a channel and send indexed results back, and the collector
-// writes each into its slot. The first error aborts the sweep (remaining
-// jobs are skipped, in-flight ones drain).
-func fanOut[T any](workers, n int, run func(int) (T, error)) ([]T, error) {
+// writes each into its slot. run receives the worker id (0 in the serial
+// path) so per-job observability spans can attribute contention. The
+// first error aborts the sweep (remaining jobs are skipped, in-flight
+// ones drain), but every job that failed before the abort propagated is
+// reported: the errors are joined in job-index order, so a sweep broken
+// on three benchmarks names all three, not just the first across the
+// finish line.
+func fanOut[T any](workers, n int, run func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := run(i)
+			v, err := run(0, i)
 			if err != nil {
 				return nil, err
 			}
@@ -83,20 +94,20 @@ func fanOut[T any](workers, n int, run func(int) (T, error)) ([]T, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobCh {
 				if failed.Load() {
 					resCh <- result{index: i, err: errSkipped}
 					continue
 				}
-				v, err := run(i)
+				v, err := run(worker, i)
 				if err != nil {
 					failed.Store(true)
 				}
 				resCh <- result{index: i, val: v, err: err}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		for i := 0; i < n; i++ {
@@ -107,27 +118,38 @@ func fanOut[T any](workers, n int, run func(int) (T, error)) ([]T, error) {
 		close(resCh)
 	}()
 
-	var firstErr error
+	errs := make([]error, n) // per-index slots keep the join deterministic
+	nerr := 0
 	for res := range resCh {
 		if res.err != nil {
-			if firstErr == nil && res.err != errSkipped {
-				firstErr = res.err
+			if res.err != errSkipped {
+				errs[res.index] = res.err
+				nerr++
 			}
 			continue
 		}
 		out[res.index] = res.val
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if nerr > 0 {
+		return nil, errors.Join(errs...)
 	}
 	return out, nil
 }
 
+// scope attributes spans for one sweep point; nil when recording is off.
+func (r *Runner) scope(j rowJob, worker int) *obs.Scope {
+	return r.Obs.Scope(j.bench.Name, j.level, worker)
+}
+
 // rows executes every job through the full flow, one Row per job, in job
-// order.
+// order. Each job records a "job" span covering the whole sweep point.
 func (r *Runner) rows(jobs []rowJob) ([]Row, error) {
-	return fanOut(r.workers(), len(jobs), func(i int) (Row, error) {
-		return r.runOne(jobs[i])
+	return fanOut(r.workers(), len(jobs), func(w, i int) (Row, error) {
+		sc := r.scope(jobs[i], w)
+		sp := sc.Start(obs.StageJob)
+		row, err := r.runOne(jobs[i], sc)
+		sp.End()
+		return row, err
 	})
 }
 
@@ -136,13 +158,16 @@ func (r *Runner) rows(jobs []rowJob) ([]Row, error) {
 // platform, area budget, or algorithm analyze once per benchmark here and
 // fan the points over core.Evaluate, which costs microseconds per call.
 func (r *Runner) analyses(jobs []rowJob) ([]*core.Analysis, error) {
-	return fanOut(r.workers(), len(jobs), func(i int) (*core.Analysis, error) {
+	return fanOut(r.workers(), len(jobs), func(w, i int) (*core.Analysis, error) {
 		j := jobs[i]
-		img, err := r.compile(j)
+		sc := r.scope(j, w)
+		sp := sc.Start(obs.StageJob)
+		defer sp.End()
+		img, err := r.compile(j, sc)
 		if err != nil {
 			return nil, err
 		}
-		a, err := core.AnalyzeWith(img, j.opts, r.Caches)
+		a, err := core.AnalyzeScoped(img, j.opts, r.Caches, sc)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", j.bench.Name, err)
 		}
@@ -153,21 +178,28 @@ func (r *Runner) analyses(jobs []rowJob) ([]*core.Analysis, error) {
 // errSkipped marks jobs abandoned after another job already failed.
 var errSkipped = fmt.Errorf("exper: skipped after earlier failure")
 
-// compile builds a job's binary, through the compile cache when present.
-func (r *Runner) compile(j rowJob) (*binimg.Image, error) {
-	if r.Caches != nil {
-		return j.bench.CompileCached(j.level, r.Caches.Compile)
+// compile builds a job's binary, through the compile cache when present,
+// recording a compile span with the cache outcome.
+func (r *Runner) compile(j rowJob, sc *obs.Scope) (*binimg.Image, error) {
+	sp := sc.Start(obs.StageCompile)
+	defer sp.End()
+	if r.Caches != nil && r.Caches.Compile != nil {
+		img, out, err := r.Caches.Compile.GetOrComputeOutcome(
+			bench.CompileKey(j.bench.Source, j.level),
+			func() (*binimg.Image, error) { return j.bench.Compile(j.level) })
+		sp.SetOutcome(out)
+		return img, err
 	}
 	return j.bench.Compile(j.level)
 }
 
 // runOne executes the full flow for one sweep point.
-func (r *Runner) runOne(j rowJob) (Row, error) {
-	img, err := r.compile(j)
+func (r *Runner) runOne(j rowJob, sc *obs.Scope) (Row, error) {
+	img, err := r.compile(j, sc)
 	if err != nil {
 		return Row{}, err
 	}
-	rep, err := core.RunWith(img, j.opts, r.Caches)
+	rep, err := core.RunScoped(img, j.opts, r.Caches, sc)
 	if err != nil {
 		return Row{}, fmt.Errorf("%s: %w", j.bench.Name, err)
 	}

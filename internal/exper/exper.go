@@ -163,7 +163,7 @@ func (r *Runner) Table2() (*Table2, error) {
 		p := platform.MIPS(mhz, platform.MIPS200.Device)
 		rows := make([]Row, len(jobs))
 		for i, a := range as {
-			rows[i] = rowFrom(jobs[i], core.Evaluate(a, p, 0, jobs[i].opts.Algorithm))
+			rows[i] = rowFrom(jobs[i], core.EvaluateScoped(a, p, 0, jobs[i].opts.Algorithm, r.scope(jobs[i], 0)))
 		}
 		t.MHz = append(t.MHz, mhz)
 		t.Summaries = append(t.Summaries, summarize(rows))
@@ -304,7 +304,7 @@ func (r *Runner) Figure1() (*Figure1, error) {
 		p := platform.MIPS(200, dev)
 		var sum float64
 		for i, a := range as {
-			sum += core.Evaluate(a, p, 0, jobs[i].opts.Algorithm).Metrics.AppSpeedup
+			sum += core.EvaluateScoped(a, p, 0, jobs[i].opts.Algorithm, r.scope(jobs[i], 0)).Metrics.AppSpeedup
 		}
 		f.Devices = append(f.Devices, dev.Name)
 		f.Speedups = append(f.Speedups, sum/float64(len(as)))
@@ -359,7 +359,7 @@ func (r *Runner) PartitionerComparison() (*Ablation, error) {
 		var sum float64
 		var ptime time.Duration
 		for i, an := range as {
-			rep := core.Evaluate(an, jobs[i].opts.Platform, jobs[i].opts.AreaBudgetGates, alg)
+			rep := core.EvaluateScoped(an, jobs[i].opts.Platform, jobs[i].opts.AreaBudgetGates, alg, r.scope(jobs[i], 0))
 			sum += rep.Metrics.AppSpeedup
 			ptime += rep.PartitionTime
 		}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"binpart/internal/cache"
+)
+
+// debugSources holds what the expvar callbacks read. Set by ServeDebug;
+// the callbacks are registered once per process (expvar.Publish panics on
+// duplicates) and always read the latest sources.
+var debugSources struct {
+	mu     sync.Mutex
+	rec    *Recorder
+	caches func() map[string]cache.Stats
+}
+
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP listener for long sweeps: /debug/vars serves
+// expvar (including binpart.stages, the live per-stage span totals, and
+// binpart.caches, the live cache counters) and /debug/pprof/* serves
+// net/pprof. rec and caches may be nil. Returns the bound address (useful
+// with ":0"); the listener runs until the process exits.
+func ServeDebug(addr string, rec *Recorder, caches func() map[string]cache.Stats) (string, error) {
+	debugSources.mu.Lock()
+	debugSources.rec = rec
+	debugSources.caches = caches
+	debugSources.mu.Unlock()
+
+	publishOnce.Do(func() {
+		expvar.Publish("binpart.stages", expvar.Func(func() any {
+			debugSources.mu.Lock()
+			r := debugSources.rec
+			debugSources.mu.Unlock()
+			return r.StageTotals()
+		}))
+		expvar.Publish("binpart.caches", expvar.Func(func() any {
+			debugSources.mu.Lock()
+			f := debugSources.caches
+			debugSources.mu.Unlock()
+			if f == nil {
+				return nil
+			}
+			return f()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux) //nolint:errcheck // debug listener lives until process exit
+	return ln.Addr().String(), nil
+}

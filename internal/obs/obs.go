@@ -1,0 +1,349 @@
+// Package obs is the pipeline's observability layer: stage-scoped spans,
+// per-stage aggregation, run manifests, and a debug HTTP listener.
+//
+// A Recorder collects Spans — one per pipeline stage execution, tagged
+// with the benchmark, optimization level, worker id, wall time, cache
+// outcome, and the stage's key counters — from the flow (core.Analyze /
+// core.Evaluate), the content-addressed stage caches, and the experiment
+// executor. A nil *Recorder (and the nil *Scope it hands out) is the
+// disabled fast path: every method returns immediately and allocates
+// nothing, so threading observability through the hot pipeline costs a
+// pointer test when it is off. The cmd/benchjson Stage* allocs/op gates
+// hold the disabled path to zero overhead.
+//
+// Spans surface three ways: streamed as JSONL while the run executes
+// (-trace), aggregated into a per-stage table at exit (-stats), and
+// folded into a run manifest written alongside sweep output (-manifest,
+// see manifest.go). For long sweeps, ServeDebug (debug.go) exposes the
+// same aggregates over expvar plus net/pprof.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"binpart/internal/cache"
+)
+
+// Canonical stage names. The pipeline emits exactly these; the table and
+// manifest render them in pipeline order.
+const (
+	StageJob      = "job"      // one sweep point end to end (executor)
+	StageAnalyze  = "analyze"  // assembled platform-independent analysis
+	StageCompile  = "compile"  // MicroC compilation
+	StageSim      = "sim"      // profiling simulation
+	StageLift     = "lift"     // decompile + decompiler optimizations
+	StageSynth    = "synth"    // behavioral synthesis of one region
+	StageEvaluate = "evaluate" // price + partition + platform evaluation
+)
+
+// stageRank orders known stages pipeline-first; unknown stages sort after
+// by name, so the table and manifest are deterministic at any worker count.
+var stageRank = map[string]int{
+	StageJob:      0,
+	StageAnalyze:  1,
+	StageCompile:  2,
+	StageSim:      3,
+	StageLift:     4,
+	StageSynth:    5,
+	StageEvaluate: 6,
+}
+
+// Span is one recorded stage execution. The exported fields are the trace
+// schema; Start/Dur are filled in by End.
+type Span struct {
+	rec   *Recorder
+	begin time.Time
+
+	Stage  string
+	Bench  string // benchmark name or input path ("" if not attributable)
+	Level  int    // compiler optimization level (-1 when unknown)
+	Worker int    // executor worker id (0 for serial / unpooled work)
+	// Start is the span's offset from the recorder's epoch; Dur its wall
+	// time. Both are set by End.
+	Start time.Duration
+	Dur   time.Duration
+	// Outcome is the stage-cache outcome (OutcomeNone for uncached work).
+	Outcome cache.Outcome
+	// Counters. Zero means "not applicable" and is omitted from the trace.
+	Instrs   uint64 // instructions simulated
+	Regions  uint64 // regions/functions recovered (lift), candidates (analyze)
+	Selected uint64 // regions partitioned to hardware
+}
+
+// SetOutcome records the stage-cache outcome.
+func (s *Span) SetOutcome(o cache.Outcome) {
+	if s.rec == nil {
+		return
+	}
+	s.Outcome = o
+}
+
+// SetInstrs records instructions simulated.
+func (s *Span) SetInstrs(n uint64) {
+	if s.rec == nil {
+		return
+	}
+	s.Instrs = n
+}
+
+// SetRegions records regions recovered / candidates built.
+func (s *Span) SetRegions(n uint64) {
+	if s.rec == nil {
+		return
+	}
+	s.Regions = n
+}
+
+// SetSelected records regions partitioned to hardware.
+func (s *Span) SetSelected(n uint64) {
+	if s.rec == nil {
+		return
+	}
+	s.Selected = n
+}
+
+// End stamps the span's duration and emits it to the recorder. A span
+// from a nil scope is a no-op.
+func (s *Span) End() {
+	if s.rec == nil {
+		return
+	}
+	now := time.Now()
+	s.Dur = now.Sub(s.begin)
+	s.Start = s.begin.Sub(s.rec.epoch)
+	s.rec.emit(*s)
+}
+
+// Scope carries the attribution attributes — benchmark, opt level, worker
+// id — that every span under one sweep point shares. A nil *Scope is the
+// disabled path; it starts inert spans and costs one pointer test.
+type Scope struct {
+	r      *Recorder
+	bench  string
+	level  int
+	worker int
+}
+
+// Start opens a span for one stage execution under this scope.
+func (s *Scope) Start(stage string) Span {
+	if s == nil {
+		return Span{}
+	}
+	return Span{
+		rec:    s.r,
+		begin:  time.Now(),
+		Stage:  stage,
+		Bench:  s.bench,
+		Level:  s.level,
+		Worker: s.worker,
+	}
+}
+
+// Recorder collects spans from a run. Safe for concurrent use by every
+// worker of a sweep. The zero value is not usable; create with
+// NewRecorder. A nil *Recorder is the disabled fast path.
+type Recorder struct {
+	epoch time.Time
+
+	mu        sync.Mutex
+	spans     []Span
+	bw        *bufio.Writer
+	enc       *json.Encoder
+	streamErr error
+}
+
+// NewRecorder starts a recorder; its epoch is the creation time.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Scope returns span attribution for one sweep point. bench may be a
+// benchmark name or an input path; level is the compiler optimization
+// level (-1 when unknown); worker is the executor worker id. On a nil
+// recorder it returns nil, the disabled scope.
+func (r *Recorder) Scope(bench string, level, worker int) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{r: r, bench: bench, level: level, worker: worker}
+}
+
+// StreamTo mirrors every span to w as one JSON object per line, in
+// emission order (see spanJSON for the schema). Call before the run
+// starts; finish with Flush.
+func (r *Recorder) StreamTo(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.bw = bufio.NewWriter(w)
+	r.enc = json.NewEncoder(r.bw)
+	r.mu.Unlock()
+}
+
+// Flush drains the stream buffer and reports the first stream error.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.bw != nil {
+		if err := r.bw.Flush(); err != nil && r.streamErr == nil {
+			r.streamErr = err
+		}
+	}
+	return r.streamErr
+}
+
+// spanJSON is the trace line schema. Durations are integer microseconds:
+// stable to diff, trivial to load into anything.
+type spanJSON struct {
+	Stage    string `json:"stage"`
+	Bench    string `json:"bench,omitempty"`
+	Level    int    `json:"opt"`
+	Worker   int    `json:"worker"`
+	StartUS  int64  `json:"start_us"`
+	DurUS    int64  `json:"dur_us"`
+	Cache    string `json:"cache,omitempty"`
+	Instrs   uint64 `json:"instrs,omitempty"`
+	Regions  uint64 `json:"regions,omitempty"`
+	Selected uint64 `json:"selected,omitempty"`
+}
+
+func (s *Span) toJSON() spanJSON {
+	return spanJSON{
+		Stage:    s.Stage,
+		Bench:    s.Bench,
+		Level:    s.Level,
+		Worker:   s.Worker,
+		StartUS:  s.Start.Microseconds(),
+		DurUS:    s.Dur.Microseconds(),
+		Cache:    s.Outcome.String(),
+		Instrs:   s.Instrs,
+		Regions:  s.Regions,
+		Selected: s.Selected,
+	}
+}
+
+func (r *Recorder) emit(sp Span) {
+	r.mu.Lock()
+	r.spans = append(r.spans, sp)
+	if r.enc != nil {
+		if err := r.enc.Encode(sp.toJSON()); err != nil && r.streamErr == nil {
+			r.streamErr = err
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns a snapshot copy of every span recorded so far.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// StageTotal aggregates every span of one stage: span count, total wall
+// time, cache outcomes, and counter sums.
+type StageTotal struct {
+	Stage    string `json:"stage"`
+	Spans    int    `json:"spans"`
+	WallUS   int64  `json:"wall_us"`
+	Hit      uint64 `json:"hit"`
+	Miss     uint64 `json:"miss"`
+	Wait     uint64 `json:"wait"`
+	Disk     uint64 `json:"disk"`
+	Corrupt  uint64 `json:"corrupt"`
+	Instrs   uint64 `json:"instrs,omitempty"`
+	Regions  uint64 `json:"regions,omitempty"`
+	Selected uint64 `json:"selected,omitempty"`
+}
+
+// StageTotals aggregates the recorded spans per stage, in pipeline order
+// (unknown stages after, by name). A nil recorder returns nil.
+func (r *Recorder) StageTotals() []StageTotal {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	byStage := map[string]*StageTotal{}
+	for i := range r.spans {
+		sp := &r.spans[i]
+		st := byStage[sp.Stage]
+		if st == nil {
+			st = &StageTotal{Stage: sp.Stage}
+			byStage[sp.Stage] = st
+		}
+		st.Spans++
+		st.WallUS += sp.Dur.Microseconds()
+		switch sp.Outcome {
+		case cache.OutcomeHit:
+			st.Hit++
+		case cache.OutcomeMiss:
+			st.Miss++
+		case cache.OutcomeWait:
+			st.Wait++
+		case cache.OutcomeDisk:
+			st.Disk++
+		case cache.OutcomeCorrupt:
+			st.Corrupt++
+		}
+		st.Instrs += sp.Instrs
+		st.Regions += sp.Regions
+		st.Selected += sp.Selected
+	}
+	r.mu.Unlock()
+
+	out := make([]StageTotal, 0, len(byStage))
+	for _, st := range byStage {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, iKnown := stageRank[out[i].Stage]
+		rj, jKnown := stageRank[out[j].Stage]
+		switch {
+		case iKnown && jKnown:
+			return ri < rj
+		case iKnown != jKnown:
+			return iKnown
+		default:
+			return out[i].Stage < out[j].Stage
+		}
+	})
+	return out
+}
+
+// Table renders the per-stage aggregation as the -stats text table.
+func (r *Recorder) Table() string {
+	if r == nil {
+		return "obs: disabled\n"
+	}
+	totals := r.StageTotals()
+	var b strings.Builder
+	b.WriteString("obs    stage     spans   wall(ms)    hit   miss   wait   disk corrupt\n")
+	var instrs, regions, selected uint64
+	for _, st := range totals {
+		fmt.Fprintf(&b, "obs    %-8s %6d %10.1f %6d %6d %6d %6d %7d\n",
+			st.Stage, st.Spans, float64(st.WallUS)/1e3,
+			st.Hit, st.Miss, st.Wait, st.Disk, st.Corrupt)
+		instrs += st.Instrs
+		regions += st.Regions
+		selected += st.Selected
+	}
+	fmt.Fprintf(&b, "obs    counters: %d instructions simulated, %d regions recovered, %d selected for hardware\n",
+		instrs, regions, selected)
+	return b.String()
+}
