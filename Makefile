@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench experiments obs-smoke
+.PHONY: build test race vet check bench experiments obs-smoke corpus-smoke
 
 build:
 	$(GO) build ./...
@@ -29,16 +29,27 @@ obs-smoke:
 		-manifest /tmp/binpart-t1-manifest.json \
 		-stats >/dev/null
 
-check: vet build test race obs-smoke
+# A slice of the generated-program differential corpus under the race
+# detector: 120 switch-shaped programs through the full flow at -j 8,
+# every one checked against the reference simulator and cold-vs-warm
+# cache. The command exits nonzero on any mismatch or a recovery rate
+# below 99%. The summary lands in /tmp for inspection.
+corpus-smoke:
+	$(GO) run -race ./cmd/experiments -corpus 120 -j 8 \
+		-corpus-out /tmp/binpart-corpus-summary.json >/dev/null
+
+check: vet build test race obs-smoke corpus-smoke
 
 # Runs every benchmark and distills the results (per-stage ns/op plus the
 # T1 headline custom metrics) into BENCH.json via cmd/benchjson. The text
 # output still streams to the terminal. The committed BENCH.json is
 # snapshotted first and used as the regression baseline: a >10% Stage*
 # regression fails the target (allocs/op always; ns/op only on the same CPU).
+# -count=3 with benchjson keeping the per-benchmark minimum damps shared-host
+# timing noise; allocs/op is exact regardless.
 bench:
 	@if [ -f BENCH.json ]; then cp BENCH.json .bench-baseline.json; fi
-	$(GO) test -run NONE -bench . -benchmem . | $(GO) run ./cmd/benchjson -o BENCH.json -baseline .bench-baseline.json
+	$(GO) test -run NONE -bench . -benchmem -count 3 . | $(GO) run ./cmd/benchjson -o BENCH.json -baseline .bench-baseline.json
 	@rm -f .bench-baseline.json
 
 experiments:

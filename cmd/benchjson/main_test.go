@@ -93,6 +93,32 @@ func TestDiffReportsZeroBaselineClean(t *testing.T) {
 	}
 }
 
+// TestMergeKeepsFastestSample pins the -count=N behavior: repeated
+// lines for one benchmark collapse to the lowest-ns/op sample (timing
+// noise is additive, so the minimum is the least-disturbed run), order
+// of first appearance is preserved, and a sample without ns/op never
+// displaces one that has it.
+func TestMergeKeepsFastestSample(t *testing.T) {
+	var rep Report
+	rep.merge(bench("StageCompile", 1200, 100))
+	rep.merge(bench("StageDopt", 500, 50))
+	rep.merge(bench("StageCompile", 900, 101)) // faster repeat wins wholesale
+	rep.merge(bench("StageCompile", 1500, 99)) // slower repeat is dropped
+	rep.merge(Benchmark{Name: "StageDopt", N: 1, Metrics: map[string]float64{"allocs/op": 1}})
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %+v", rep.Benchmarks)
+	}
+	if rep.Benchmarks[0].Name != "StageCompile" || rep.Benchmarks[1].Name != "StageDopt" {
+		t.Fatalf("order not preserved: %+v", rep.Benchmarks)
+	}
+	if got := rep.Benchmarks[0].Metrics; got["ns/op"] != 900 || got["allocs/op"] != 101 {
+		t.Fatalf("fastest sample not kept whole: %v", got)
+	}
+	if got := rep.Benchmarks[1].Metrics; got["ns/op"] != 500 {
+		t.Fatalf("ns/op-less repeat displaced a timed sample: %v", got)
+	}
+}
+
 func TestParseBenchLineRoundTrip(t *testing.T) {
 	b, ok := parseBenchLine("BenchmarkStageCompile-8   1406   807229 ns/op   1779 allocs/op")
 	if !ok || b.Name != "StageCompile" || b.Metrics["allocs/op"] != 1779 {

@@ -49,7 +49,7 @@ func main() {
 	alg := flag.String("alg", "90-10", "partitioning algorithm: 90-10, greedy, gclp")
 	whole := flag.Bool("whole", false, "partition whole call-free functions instead of loops")
 	structure := flag.Bool("structure", false, "print recovered control structure per function")
-	jumpTables := flag.Bool("jumptables", false, "enable the indirect-jump (jump table) recovery extension")
+	jumpTables := flag.Bool("jumptables", true, "recover switch jump tables at indirect jumps (=false reproduces the paper's failures)")
 	vhdlDir := flag.String("vhdl", "", "directory to write VHDL for selected regions")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size when partitioning several binaries")
 	cacheDir := flag.String("cachedir", "", "directory for the on-disk stage cache (empty: memory only)")

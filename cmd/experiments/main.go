@@ -7,6 +7,8 @@
 //	experiments -table 1     # one table (1-4)
 //	experiments -figure 1    # the area-sweep figure
 //	experiments -ablation    # partitioner + pass ablations
+//	experiments -corpus 1000 # differential fuzz corpus of generated programs
+//	experiments -corpus 1000 -corpus-seed 7 -corpus-out sum.json
 //	experiments -j 8         # fan sweep points over 8 workers
 //	experiments -cachedir d  # persist the compile cache under d
 //	experiments -trace t.jsonl     # stream per-stage spans as JSONL
@@ -39,6 +41,9 @@ func main() {
 	figure := flag.Int("figure", 0, "run a single figure (1)")
 	ablation := flag.Bool("ablation", false, "run the ablation studies")
 	extension := flag.Bool("extension", false, "run the jump-table recovery extension experiment")
+	corpusN := flag.Int("corpus", 0, "sweep N generated switch-shaped programs through the differential corpus (0: off)")
+	corpusSeed := flag.Int64("corpus-seed", 1, "first generator seed for -corpus")
+	corpusOut := flag.String("corpus-out", "", "write the corpus summary (recovery rate, speedup distribution, mismatches) to this JSON file")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size for experiment sweeps")
 	cacheDir := flag.String("cachedir", "", "directory for the on-disk stage cache (empty: memory only)")
 	stats := flag.Bool("stats", false, "print per-stage span and cache counters to stderr")
@@ -117,7 +122,7 @@ func main() {
 	runner := exper.NewRunner(*workers, caches)
 	runner.Obs = rec
 
-	all := *table == 0 && *figure == 0 && !*ablation && !*extension
+	all := *table == 0 && *figure == 0 && !*ablation && !*extension && *corpusN == 0
 	run := func(name string, f func() (fmt.Stringer, error)) {
 		out, err := f()
 		if err != nil {
@@ -148,6 +153,27 @@ func main() {
 	}
 	if all || *extension {
 		run("extension 1", func() (fmt.Stringer, error) { return wrap(runner.JumpTableExtension()) })
+	}
+	if *corpusN > 0 {
+		corpus, err := runner.Corpus(*corpusN, *corpusSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corpus: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(corpus.Format())
+		if *corpusOut != "" {
+			if err := corpus.WriteSummary(*corpusOut); err != nil {
+				fmt.Fprintf(os.Stderr, "corpus summary: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		// A corpus invocation is a differential gate, not just a report:
+		// any mismatch or a recovery rate below 99% fails the run.
+		if s := corpus.Summary(); len(s.Mismatches) > 0 || s.RecoveryRate < 0.99 {
+			fmt.Fprintf(os.Stderr, "corpus: %d mismatches, recovery rate %.2f%%\n",
+				len(s.Mismatches), 100*s.RecoveryRate)
+			os.Exit(1)
+		}
 	}
 
 	if *stats || *cacheStats {

@@ -81,9 +81,12 @@ func TestVHDLForSelectedRegions(t *testing.T) {
 }
 
 func TestJumpTableBenchmarkDegradesGracefully(t *testing.T) {
-	// routelookup's kernel fails CDFG recovery; the flow must still
-	// complete (the kernel simply stays in software).
-	rep := runBench(t, "routelookup", 1, DefaultOptions())
+	// Under the paper's flow (switch-table recovery off), routelookup's
+	// kernel fails CDFG recovery; the flow must still complete (the
+	// kernel simply stays in software).
+	opts := DefaultOptions()
+	opts.RecoverJumpTables = false
+	rep := runBench(t, "routelookup", 1, opts)
 	if rep.Recovery.FuncsFailed == 0 {
 		t.Error("expected a recovery failure")
 	}
@@ -257,7 +260,9 @@ func TestJumpTableExtensionAcceleratesFailedBenchmarks(t *testing.T) {
 	// With the indirect-jump extension, the paper's two failing EEMBC
 	// benchmarks become partitionable and accelerate.
 	for _, name := range []string{"routelookup", "ttsprk"} {
-		base := runBench(t, name, 1, DefaultOptions())
+		baseOpts := DefaultOptions()
+		baseOpts.RecoverJumpTables = false // the paper's flow
+		base := runBench(t, name, 1, baseOpts)
 		opts := DefaultOptions()
 		opts.RecoverJumpTables = true
 		ext := runBench(t, name, 1, opts)

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"binpart/internal/binimg"
 	"binpart/internal/ir"
@@ -24,6 +25,39 @@ import (
 // ErrIndirectJump marks functions whose CDFG could not be recovered
 // because the binary contains a register-indirect jump.
 var ErrIndirectJump = errors.New("decompile: indirect jump defeats CDFG recovery")
+
+// IndirectJumpError is the concrete failure attached to Result.Failed
+// when a register-indirect jump defeats CDFG recovery. It carries the
+// faulting site so T4-style failure rows and fuzz-corpus triage are
+// self-explanatory, and unwraps to ErrIndirectJump so existing
+// errors.Is checks keep working.
+type IndirectJumpError struct {
+	// PC is the byte address of the faulting jr/jalr instruction.
+	PC uint32
+	// Func is the enclosing function's name.
+	Func string
+	// Inst renders the faulting instruction ("jr $t2", "jalr").
+	Inst string
+	// Reason says why jump-table recovery did not apply: the
+	// resolver's rejection when it ran, or empty when recovery was
+	// disabled (the paper's flow) or impossible (jalr).
+	Reason string
+}
+
+// Error renders the site: "... (jr $t2 at 0x400128 in kernel: no
+// plausible bound check)".
+func (e *IndirectJumpError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v (%s at 0x%x in %s", ErrIndirectJump, e.Inst, e.PC, e.Func)
+	if e.Reason != "" {
+		fmt.Fprintf(&b, ": %s", e.Reason)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrIndirectJump) hold.
+func (e *IndirectJumpError) Unwrap() error { return ErrIndirectJump }
 
 // Options configures decompilation.
 type Options struct {
@@ -180,8 +214,10 @@ func liftFunction(img *binimg.Image, fn funcSpan, opts Options) (*ir.Func, []uin
 		case in.Op == mips.JR && in.Rs != mips.RA:
 			// Indirect jump: recovery fails, as in the paper — unless the
 			// jump-table extension can resolve the target set.
+			var reason string
 			if opts.RecoverJumpTables {
-				if targets, err := resolveJumpTable(img, insts, i, fn); err == nil {
+				targets, jerr := resolveJumpTable(img, insts, i, fn)
+				if jerr == nil {
 					tables[pc] = targets
 					for _, tgt := range targets {
 						leader[(tgt-fn.Start)/4] = true
@@ -191,10 +227,14 @@ func liftFunction(img *binimg.Image, fn funcSpan, opts Options) (*ir.Func, []uin
 					}
 					break
 				}
+				reason = jerr.Error()
 			}
-			return nil, nil, fmt.Errorf("%w (jr %s at 0x%x in %s)", ErrIndirectJump, in.Rs, pc, fn.Name)
+			return nil, nil, &IndirectJumpError{
+				PC: pc, Func: fn.Name,
+				Inst: fmt.Sprintf("jr %s", in.Rs), Reason: reason,
+			}
 		case in.Op == mips.JALR:
-			return nil, nil, fmt.Errorf("%w (jalr at 0x%x in %s)", ErrIndirectJump, pc, fn.Name)
+			return nil, nil, &IndirectJumpError{PC: pc, Func: fn.Name, Inst: "jalr"}
 		case in.Op == mips.JR || in.Op == mips.BREAK:
 			if i+1 < n {
 				leader[i+1] = true

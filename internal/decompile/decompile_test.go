@@ -2,6 +2,8 @@ package decompile
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"binpart/internal/binimg"
@@ -122,6 +124,21 @@ func TestIndirectJumpFails(t *testing.T) {
 	}
 	if !errors.Is(ferr, ErrIndirectJump) {
 		t.Errorf("failure reason = %v, want ErrIndirectJump", ferr)
+	}
+	// The error is typed: it names the faulting PC and the enclosing
+	// function so failure rows are self-explanatory.
+	var ije *IndirectJumpError
+	if !errors.As(ferr, &ije) {
+		t.Fatalf("failure reason %T is not *IndirectJumpError", ferr)
+	}
+	if ije.Func != "dispatch" {
+		t.Errorf("error names function %q, want dispatch", ije.Func)
+	}
+	if !img.InText(ije.PC) {
+		t.Errorf("faulting PC 0x%x outside text", ije.PC)
+	}
+	if want := fmt.Sprintf("at 0x%x in dispatch", ije.PC); !strings.Contains(ferr.Error(), want) {
+		t.Errorf("error %q does not spell out the site %q", ferr, want)
 	}
 	if res.Func("main") == nil {
 		t.Error("main should still be recovered")

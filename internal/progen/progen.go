@@ -15,6 +15,7 @@ package progen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 )
 
@@ -22,6 +23,21 @@ import (
 type Program struct {
 	Source string
 	Seed   int64
+	// Shapes lists the switch shapes present in the source, sorted:
+	// "switch-dense", "switch-sparse", "switch-fallthrough", and
+	// "switch-in-loop" (a switch nested in a loop body). Empty when the
+	// program contains no switch.
+	Shapes []string
+}
+
+// HasShape reports whether the program contains the named shape.
+func (p Program) HasShape(shape string) bool {
+	for _, s := range p.Shapes {
+		if s == shape {
+			return true
+		}
+	}
+	return false
 }
 
 // Config bounds the generator.
@@ -37,9 +53,18 @@ type Config struct {
 	// UnrollFriendly biases loop bounds to multiples of four so the -O3
 	// unroller and the decompiler's reroller both fire.
 	UnrollFriendly bool
-	// Switches sprinkles dense switch statements into loop bodies so the
-	// compiler emits jump tables (exercising indirect-jump recovery).
+	// Switches sprinkles switch statements into the kernel — dense,
+	// sparse, and fallthrough-ridden, inside and outside loops. Every
+	// shape satisfies the compiler's jump-table density rule, so each
+	// switch compiles to the indirect-jump idiom the decompiler's
+	// switch-table recovery must resolve.
 	Switches bool
+}
+
+// SwitchConfig returns the switch-rich bounds used by the differential
+// corpus: every generated kernel draws from all switch shapes.
+func SwitchConfig() Config {
+	return Config{MaxStmts: 5, MaxDepth: 3, MaxLoops: 2, Arrays: true, Switches: true}
 }
 
 // DefaultConfig returns moderate bounds.
@@ -48,19 +73,33 @@ func DefaultConfig() Config {
 }
 
 type gen struct {
-	r      *rand.Rand
-	cfg    Config
-	sb     strings.Builder
-	scals  []string // scalar local names in scope
-	loopN  int
-	indent string
+	r         *rand.Rand
+	cfg       Config
+	sb        strings.Builder
+	scals     []string // scalar local names in scope
+	loopN     int
+	loopDepth int // current loop nesting, for shape tracking
+	shapes    map[string]bool
+	indent    string
 }
 
 // Generate produces a random program from the seed.
 func Generate(seed int64, cfg Config) Program {
 	g := &gen{r: rand.New(rand.NewSource(seed)), cfg: cfg}
 	g.emit()
-	return Program{Source: g.sb.String(), Seed: seed}
+	shapes := make([]string, 0, len(g.shapes))
+	for s := range g.shapes {
+		shapes = append(shapes, s)
+	}
+	sort.Strings(shapes)
+	return Program{Source: g.sb.String(), Seed: seed, Shapes: shapes}
+}
+
+func (g *gen) mark(shape string) {
+	if g.shapes == nil {
+		g.shapes = map[string]bool{}
+	}
+	g.shapes[shape] = true
 }
 
 func (g *gen) pf(format string, args ...any) {
@@ -126,15 +165,8 @@ func (g *gen) stmt(loops int) {
 	case k < 5: // compound assignment
 		ops := []string{"+=", "-=", "^=", "|=", "&="}
 		g.pf("%s %s %s;", g.scalar(), ops[g.r.Intn(len(ops))], g.expr(g.cfg.MaxDepth-1))
-	case k == 5 && g.cfg.Switches:
-		// Dense switch: at least 4 consecutive cases forces a jump table.
-		tgt := g.scalar()
-		g.pf("switch ((%s) & 7) {", g.expr(1))
-		for c := 0; c < 6; c++ {
-			g.pf("case %d: %s = %s; break;", c, tgt, g.expr(1))
-		}
-		g.pf("default: %s = %s; break;", tgt, g.expr(1))
-		g.pf("}")
+	case (k == 5 || k == 8) && g.cfg.Switches:
+		g.switchStmt()
 	case k < 7 && g.cfg.Arrays: // array store
 		g.pf("ga[(%s) & 15] = %s;", g.expr(1), g.expr(g.cfg.MaxDepth-1))
 	case k < 8: // if/else
@@ -162,15 +194,70 @@ func (g *gen) stmt(loops int) {
 		saved := g.indent
 		g.indent += "\t"
 		g.scals = append(g.scals, iv)
+		g.loopDepth++
 		inner := 1 + g.r.Intn(3)
 		for j := 0; j < inner; j++ {
 			g.stmt(loops - 1)
 		}
+		g.loopDepth--
 		g.scals = g.scals[:len(g.scals)-1]
 		g.indent = saved
 		g.pf("}")
 	default:
 		g.pf("%s = %s;", g.scalar(), g.expr(g.cfg.MaxDepth))
+	}
+}
+
+// switchStmt emits one of three switch shapes. Every shape keeps at
+// least 4 cases whose value span stays within 3x the case count, so the
+// compiler always lowers it to the bound-check + scaled-load + jr
+// jump-table idiom rather than a compare chain — the construct the
+// decompiler's switch-table recovery must resolve.
+func (g *gen) switchStmt() {
+	if g.loopDepth > 0 {
+		g.mark("switch-in-loop")
+	}
+	tgt := g.scalar()
+	switch g.r.Intn(3) {
+	case 0:
+		// Dense: consecutive cases 0..5 under an &7 tag.
+		g.mark("switch-dense")
+		g.pf("switch ((%s) & 7) {", g.expr(1))
+		for c := 0; c < 6; c++ {
+			g.pf("case %d: %s = %s; break;", c, tgt, g.expr(1))
+		}
+		g.pf("default: %s = %s; break;", tgt, g.expr(1))
+		g.pf("}")
+	case 1:
+		// Sparse: 5-7 distinct values from 0..15 under an &15 tag. The
+		// span is at most 15 <= 3*5, so the table (with default-filled
+		// holes) is still emitted.
+		g.mark("switch-sparse")
+		n := 5 + g.r.Intn(3)
+		vals := g.r.Perm(16)[:n]
+		sort.Ints(vals)
+		g.pf("switch ((%s) & 15) {", g.expr(1))
+		for _, c := range vals {
+			g.pf("case %d: %s = %s; break;", c, tgt, g.expr(1))
+		}
+		g.pf("default: %s = %s; break;", tgt, g.expr(1))
+		g.pf("}")
+	default:
+		// Dense with fallthrough arms: case 1 always falls through (so
+		// the shape is present in every such switch) and other early
+		// cases may; a fallthrough case's successor block has two
+		// incoming dispatch paths.
+		g.mark("switch-fallthrough")
+		g.pf("switch ((%s) & 7) {", g.expr(1))
+		for c := 0; c < 6; c++ {
+			if c == 1 || (c < 5 && g.r.Intn(3) == 0) {
+				g.pf("case %d: %s = %s;", c, tgt, g.expr(1))
+			} else {
+				g.pf("case %d: %s = %s; break;", c, tgt, g.expr(1))
+			}
+		}
+		g.pf("default: %s = %s; break;", tgt, g.expr(1))
+		g.pf("}")
 	}
 }
 
