@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench experiments obs-smoke corpus-smoke
+.PHONY: build test race vet check bench experiments obs-smoke corpus-smoke engine-smoke
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,16 @@ corpus-smoke:
 	$(GO) run -race ./cmd/experiments -corpus 120 -j 8 \
 		-corpus-out /tmp/binpart-corpus-summary.json >/dev/null
 
-check: vet build test race obs-smoke corpus-smoke
+# The simulator engine differential: every suite benchmark at -O0..-O3
+# through the reference, block, and fused engines as multi-core batches,
+# bit-identity checked down to the profile maps. Exits nonzero on any
+# divergence; the stats artifact (wall times, fusion counters) lands in
+# /tmp for inspection.
+engine-smoke:
+	$(GO) run ./cmd/experiments -engines -j 8 \
+		-fusion-out /tmp/binpart-engines.json >/dev/null
+
+check: vet build test race obs-smoke corpus-smoke engine-smoke
 
 # Runs every benchmark and distills the results (per-stage ns/op plus the
 # T1 headline custom metrics) into BENCH.json via cmd/benchjson. The text

@@ -9,6 +9,9 @@
 //	experiments -ablation    # partitioner + pass ablations
 //	experiments -corpus 1000 # differential fuzz corpus of generated programs
 //	experiments -corpus 1000 -corpus-seed 7 -corpus-out sum.json
+//	experiments -engines     # simulator engine ablation (batched, differential)
+//	experiments -engine reference  # run every sweep on one engine
+//	experiments -fusion-out f.json # write the engine ablation stats artifact
 //	experiments -j 8         # fan sweep points over 8 workers
 //	experiments -cachedir d  # persist the compile cache under d
 //	experiments -trace t.jsonl     # stream per-stage spans as JSONL
@@ -34,6 +37,7 @@ import (
 	"binpart/internal/core"
 	"binpart/internal/exper"
 	"binpart/internal/obs"
+	"binpart/internal/sim"
 )
 
 func main() {
@@ -44,6 +48,9 @@ func main() {
 	corpusN := flag.Int("corpus", 0, "sweep N generated switch-shaped programs through the differential corpus (0: off)")
 	corpusSeed := flag.Int64("corpus-seed", 1, "first generator seed for -corpus")
 	corpusOut := flag.String("corpus-out", "", "write the corpus summary (recovery rate, speedup distribution, mismatches) to this JSON file")
+	engines := flag.Bool("engines", false, "run the simulator engine ablation (batched differential across reference/block/fused)")
+	engine := flag.String("engine", "fused", "simulator engine for every sweep point: reference, block, or fused")
+	fusionOut := flag.String("fusion-out", "", "write the engine ablation (wall times, fusion counters) to this JSON file")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size for experiment sweeps")
 	cacheDir := flag.String("cachedir", "", "directory for the on-disk stage cache (empty: memory only)")
 	stats := flag.Bool("stats", false, "print per-stage span and cache counters to stderr")
@@ -121,8 +128,14 @@ func main() {
 
 	runner := exper.NewRunner(*workers, caches)
 	runner.Obs = rec
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runner.Engine = eng
 
-	all := *table == 0 && *figure == 0 && !*ablation && !*extension && *corpusN == 0
+	all := *table == 0 && *figure == 0 && !*ablation && !*extension && *corpusN == 0 && !*engines
 	run := func(name string, f func() (fmt.Stringer, error)) {
 		out, err := f()
 		if err != nil {
@@ -153,6 +166,29 @@ func main() {
 	}
 	if all || *extension {
 		run("extension 1", func() (fmt.Stringer, error) { return wrap(runner.JumpTableExtension()) })
+	}
+	// Like the corpus, the ablation runs only when asked for: its table
+	// contains measured wall/CPU times, which would break the
+	// serial-vs-parallel byte-identity of the default full run.
+	if *engines {
+		abl, err := runner.EngineAblation()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "engine ablation: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(abl.Format())
+		if *fusionOut != "" {
+			if err := abl.WriteStats(*fusionOut); err != nil {
+				fmt.Fprintf(os.Stderr, "engine ablation stats: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		// The ablation is a differential gate: any engine deviating from
+		// the reference stepper fails the run.
+		if !abl.Identical() {
+			fmt.Fprintln(os.Stderr, "engine ablation: engines are not bit-identical")
+			os.Exit(1)
+		}
 	}
 	if *corpusN > 0 {
 		corpus, err := runner.Corpus(*corpusN, *corpusSeed)

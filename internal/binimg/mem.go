@@ -58,6 +58,23 @@ func (m *Mem) pageSlow(pn uint32) []byte {
 	return p
 }
 
+// Reset zeroes every allocated page in place, keeping the page storage
+// so a pooled machine can reuse it without reallocating. After Reset the
+// memory is observably identical to a zero-value Mem.
+func (m *Mem) Reset() {
+	for _, l2 := range m.l1 {
+		if l2 == nil {
+			continue
+		}
+		for _, p := range l2 {
+			if p != nil {
+				clear(p)
+			}
+		}
+	}
+	m.lastPN, m.lastPage = 0, nil
+}
+
 // WriteBytes copies b into memory starting at addr, page by page.
 func (m *Mem) WriteBytes(addr uint32, b []byte) {
 	for len(b) > 0 {

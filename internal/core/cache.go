@@ -123,6 +123,7 @@ func ImageKey(img *binimg.Image) cache.Key {
 
 func hashSimConfig(h *cache.Hasher, cfg sim.Config) {
 	h.Uint32(cfg.StackTop).Uint64(cfg.MaxSteps).Bool(cfg.Profile)
+	h.Int(int64(cfg.Engine))
 	cm := cfg.Cycles
 	h.Uint64(cm.ALU).Uint64(cm.Load).Uint64(cm.Store)
 	h.Uint64(cm.BranchTaken).Uint64(cm.BranchNot).Uint64(cm.Jump)
@@ -145,6 +146,13 @@ func simKey(imgKey cache.Key, cfg sim.Config) cache.Key {
 	h.Bytes(imgKey[:])
 	hashSimConfig(h, cfg)
 	return h.Sum()
+}
+
+// SimKey exposes the simulation stage's cache key so batch front-ends
+// (the experiment corpus harness) can pre-warm Caches.Sim with results
+// produced by sim.RunBatch.
+func SimKey(imgKey cache.Key, cfg sim.Config) cache.Key {
+	return simKey(imgKey, cfg)
 }
 
 func liftKey(imgKey cache.Key, dec decompile.Options, cfg dopt.Config) cache.Key {

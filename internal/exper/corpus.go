@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 
+	"binpart/internal/binimg"
 	"binpart/internal/core"
 	"binpart/internal/mcc"
 	"binpart/internal/obs"
@@ -60,6 +61,12 @@ func RunCorpus(n int) (*Corpus, error) { return defaultRunner.Corpus(n, 1) }
 // are recorded (never fatal — the flow must degrade, not die). Points
 // come back in seed order, so the formatted figure is byte-identical at
 // any worker count.
+//
+// The sweep runs in three phases: generate + compile every program over
+// the worker pool, run every reference-oracle simulation as one
+// sim.RunBatch (the oracle uses the deliberately slow reference stepper,
+// so batching it across cores is where the harness's wall time went),
+// then fan the full-flow points back over the pool.
 func (r *Runner) Corpus(n int, baseSeed int64) (*Corpus, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("exper: corpus size %d", n)
@@ -70,13 +77,44 @@ func (r *Runner) Corpus(n int, baseSeed int64) (*Corpus, error) {
 		// runner is configured cacheless.
 		caches = core.NewCaches()
 	}
+
+	type genPoint struct {
+		prog progen.Program
+		img  *binimg.Image
+	}
+	gens, err := fanOut(r.workers(), n, func(w, i int) (genPoint, error) {
+		seed := baseSeed + int64(i)
+		lvl := i % 4
+		p := progen.Generate(seed, progen.SwitchConfig())
+		img, err := mcc.Compile(p.Source, mcc.Options{OptLevel: lvl})
+		if err != nil {
+			return genPoint{}, fmt.Errorf("corpus seed %d -O%d: compile: %w", seed, lvl, err)
+		}
+		return genPoint{prog: p, img: img}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	refCfg := sim.DefaultConfig()
+	refCfg.Engine = sim.EngineReference
+	refJobs := make([]sim.BatchJob, n)
+	for i, g := range gens {
+		refJobs[i] = sim.BatchJob{Img: g.img, Cfg: refCfg}
+	}
+	refs := sim.RunBatch(refJobs, r.workers())
+
 	pts, err := fanOut(r.workers(), n, func(w, i int) (CorpusPoint, error) {
 		seed := baseSeed + int64(i)
 		lvl := i % 4
 		sc := r.Obs.Scope(fmt.Sprintf("corpus/%d", seed), lvl, w)
 		sp := sc.Start(obs.StageJob)
 		defer sp.End()
-		return corpusPoint(seed, lvl, caches, sc)
+		if refs[i].Err != nil {
+			return CorpusPoint{Seed: seed, OptLevel: lvl, Shapes: gens[i].prog.Shapes},
+				fmt.Errorf("corpus seed %d -O%d: reference sim: %w", seed, lvl, refs[i].Err)
+		}
+		return corpusPoint(seed, lvl, gens[i].prog, gens[i].img, refs[i].Res, r.Engine, caches, sc)
 	})
 	if err != nil {
 		return nil, err
@@ -84,21 +122,12 @@ func (r *Runner) Corpus(n int, baseSeed int64) (*Corpus, error) {
 	return &Corpus{N: n, BaseSeed: baseSeed, Points: pts}, nil
 }
 
-// corpusPoint runs one generated program through every oracle.
-func corpusPoint(seed int64, lvl int, caches *core.Caches, sc *obs.Scope) (CorpusPoint, error) {
-	p := progen.Generate(seed, progen.SwitchConfig())
+// corpusPoint runs one generated program through every oracle. The
+// reference-oracle result arrives precomputed from the batched phase.
+func corpusPoint(seed int64, lvl int, p progen.Program, img *binimg.Image, ref sim.Result, engine sim.Engine, caches *core.Caches, sc *obs.Scope) (CorpusPoint, error) {
 	pt := CorpusPoint{Seed: seed, OptLevel: lvl, Shapes: p.Shapes}
-	img, err := mcc.Compile(p.Source, mcc.Options{OptLevel: lvl})
-	if err != nil {
-		return pt, fmt.Errorf("corpus seed %d -O%d: compile: %w", seed, lvl, err)
-	}
 	opts := core.DefaultOptions()
-
-	// Oracle 1: ground truth from the preserved reference stepper.
-	ref, err := sim.ExecuteReference(img, sim.DefaultConfig())
-	if err != nil {
-		return pt, fmt.Errorf("corpus seed %d -O%d: reference sim: %w", seed, lvl, err)
-	}
+	opts.Sim.Engine = engine
 
 	// Cold, uncached flow.
 	cold, err := core.Run(img, opts)

@@ -1,0 +1,86 @@
+package exper
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"binpart/internal/core"
+	"binpart/internal/sim"
+)
+
+// TestEngineAblationBitIdentical runs the full engine-differential sweep
+// — every suite benchmark at every optimization level, through each
+// engine as one multi-core batch — and requires the threaded engines to
+// be bit-identical to the reference stepper.
+func TestEngineAblationBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3 engines x full suite x 4 levels")
+	}
+	r := &Runner{Workers: runtime.GOMAXPROCS(0), Caches: core.NewCaches()}
+	e, err := r.EngineAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Points != 80 {
+		t.Fatalf("%d points, want 80 (20 benchmarks x 4 levels)", e.Points)
+	}
+	if len(e.Runs) != 3 {
+		t.Fatalf("%d engine runs, want 3", len(e.Runs))
+	}
+	for _, run := range e.Runs {
+		for _, m := range run.Mismatches {
+			t.Errorf("%s: %s", run.Engine, m)
+		}
+	}
+	if !e.Identical() {
+		t.Fatal("engines are not bit-identical")
+	}
+	// Every engine retires the same instruction stream.
+	for _, run := range e.Runs[1:] {
+		if run.Steps != e.Runs[0].Steps {
+			t.Errorf("%s retired %d steps, reference %d", run.Engine, run.Steps, e.Runs[0].Steps)
+		}
+	}
+	// The fused engine's raison d'être: a substantial share of dynamic
+	// steps retire inside fused superops.
+	var fused *EngineRun
+	for i := range e.Runs {
+		if e.Runs[i].Engine == sim.EngineFused.String() {
+			fused = &e.Runs[i]
+		}
+	}
+	if fused == nil {
+		t.Fatal("no fused engine run")
+	}
+	if fused.Fusion.Coverage < 0.5 {
+		t.Errorf("fusion coverage %.1f%% below 50%%", 100*fused.Fusion.Coverage)
+	}
+
+	path := filepath.Join(t.TempDir(), "engines.json")
+	if err := e.WriteStats(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back EngineAblation
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("stats artifact not valid JSON: %v", err)
+	}
+	if back.Points != e.Points || len(back.Runs) != len(e.Runs) {
+		t.Errorf("artifact round-trip lost data: %d/%d points, %d/%d runs",
+			back.Points, e.Points, len(back.Runs), len(e.Runs))
+	}
+
+	out := e.Format()
+	for _, want := range []string{"E2", "reference", "block", "fused", "bit-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted ablation missing %q", want)
+		}
+	}
+}

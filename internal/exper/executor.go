@@ -11,6 +11,7 @@ import (
 	"binpart/internal/binimg"
 	"binpart/internal/core"
 	"binpart/internal/obs"
+	"binpart/internal/sim"
 )
 
 // Runner executes experiment sweeps over a bounded worker pool with an
@@ -29,6 +30,11 @@ type Runner struct {
 	// the benchmark, opt level, and worker id; nil disables recording
 	// (the alloc-free fast path — tables are byte-identical either way).
 	Obs *obs.Recorder
+	// Engine selects the simulator engine for every sweep point. The zero
+	// value is sim.EngineFused, the simulator's default; all engines are
+	// bit-identical, so tables don't change with the engine — only wall
+	// time does (and the engine-differential suite holds them to that).
+	Engine sim.Engine
 }
 
 // NewRunner builds a Runner. workers <= 0 selects GOMAXPROCS; caches may
@@ -160,6 +166,7 @@ func (r *Runner) rows(jobs []rowJob) ([]Row, error) {
 func (r *Runner) analyses(jobs []rowJob) ([]*core.Analysis, error) {
 	return fanOut(r.workers(), len(jobs), func(w, i int) (*core.Analysis, error) {
 		j := jobs[i]
+		j.opts.Sim.Engine = r.Engine
 		sc := r.scope(j, w)
 		sp := sc.Start(obs.StageJob)
 		defer sp.End()
@@ -195,6 +202,7 @@ func (r *Runner) compile(j rowJob, sc *obs.Scope) (*binimg.Image, error) {
 
 // runOne executes the full flow for one sweep point.
 func (r *Runner) runOne(j rowJob, sc *obs.Scope) (Row, error) {
+	j.opts.Sim.Engine = r.Engine
 	img, err := r.compile(j, sc)
 	if err != nil {
 		return Row{}, err

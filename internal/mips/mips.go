@@ -229,28 +229,43 @@ func (o Op) Cost() CostClass {
 	return CostALU
 }
 
-// IsBranch reports whether the instruction is a conditional branch.
-func (i Inst) IsBranch() bool {
-	switch i.Op {
+// NumOps is the number of opcodes in the enum. Consumers that extend the
+// opcode space with synthetic tags (the simulator's fused superops) start
+// theirs here.
+const NumOps = int(numOps)
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
 	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ:
 		return true
 	}
 	return false
 }
 
-// IsJump reports whether the instruction unconditionally transfers control.
-func (i Inst) IsJump() bool {
-	switch i.Op {
+// IsJumpOp reports whether the opcode unconditionally transfers control.
+func (o Op) IsJumpOp() bool {
+	switch o {
 	case J, JAL, JR, JALR:
 		return true
 	}
 	return false
 }
 
-// EndsBlock reports whether the instruction terminates a basic block.
-func (i Inst) EndsBlock() bool {
-	return i.IsBranch() || i.IsJump() || i.Op == BREAK
+// EndsBlock reports whether the opcode terminates a basic block: any
+// control transfer, or BREAK (the simulator's halt).
+func (o Op) EndsBlock() bool {
+	return o.IsCondBranch() || o.IsJumpOp() || o == BREAK
 }
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool { return i.Op.IsCondBranch() }
+
+// IsJump reports whether the instruction unconditionally transfers control.
+func (i Inst) IsJump() bool { return i.Op.IsJumpOp() }
+
+// EndsBlock reports whether the instruction terminates a basic block.
+func (i Inst) EndsBlock() bool { return i.Op.EndsBlock() }
 
 // IsLoad reports whether the instruction reads memory.
 func (i Inst) IsLoad() bool {

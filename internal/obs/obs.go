@@ -71,6 +71,9 @@ type Span struct {
 	Dur   time.Duration
 	// Outcome is the stage-cache outcome (OutcomeNone for uncached work).
 	Outcome cache.Outcome
+	// Engine is the simulator engine that produced a sim span ("" for
+	// stages where the engine is irrelevant).
+	Engine string
 	// Counters. Zero means "not applicable" and is omitted from the trace.
 	Instrs   uint64 // instructions simulated
 	Regions  uint64 // regions/functions recovered (lift), candidates (analyze)
@@ -83,6 +86,14 @@ func (s *Span) SetOutcome(o cache.Outcome) {
 		return
 	}
 	s.Outcome = o
+}
+
+// SetEngine records the simulator engine behind a sim span.
+func (s *Span) SetEngine(engine string) {
+	if s.rec == nil {
+		return
+	}
+	s.Engine = engine
 }
 
 // SetInstrs records instructions simulated.
@@ -213,6 +224,7 @@ type spanJSON struct {
 	StartUS  int64  `json:"start_us"`
 	DurUS    int64  `json:"dur_us"`
 	Cache    string `json:"cache,omitempty"`
+	Engine   string `json:"engine,omitempty"`
 	Instrs   uint64 `json:"instrs,omitempty"`
 	Regions  uint64 `json:"regions,omitempty"`
 	Selected uint64 `json:"selected,omitempty"`
@@ -227,6 +239,7 @@ func (s *Span) toJSON() spanJSON {
 		StartUS:  s.Start.Microseconds(),
 		DurUS:    s.Dur.Microseconds(),
 		Cache:    s.Outcome.String(),
+		Engine:   s.Engine,
 		Instrs:   s.Instrs,
 		Regions:  s.Regions,
 		Selected: s.Selected,

@@ -1,0 +1,112 @@
+package progen
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"binpart/internal/mcc"
+	"binpart/internal/sim"
+)
+
+// TestEngineDifferentialShapes runs generated programs from the
+// fusion-friendly (straightline), fusion-hostile (branchy), and
+// switch-rich shapes through all three simulator engines and requires
+// bit-identical results — steps, cycles, exit code, both profile maps.
+// The two new shapes bracket the translator: long unbranched blocks are
+// where fusion pays, branch-per-statement kernels are where it can't,
+// and the engines must agree on both extremes.
+func TestEngineDifferentialShapes(t *testing.T) {
+	shapes := []struct {
+		name string
+		cfg  Config
+	}{
+		{"straightline", StraightlineConfig()},
+		{"branchy", BranchyConfig()},
+		{"switch", SwitchConfig()},
+	}
+	engines := []sim.Engine{sim.EngineBlock, sim.EngineFused}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 12; seed++ {
+				p := Generate(seed, sh.cfg)
+				lvl := int(seed) % 4
+				img, err := mcc.Compile(p.Source, mcc.Options{OptLevel: lvl})
+				if err != nil {
+					t.Fatalf("seed %d -O%d: compile: %v\n%s", seed, lvl, err, p.Source)
+				}
+				cfg := sim.DefaultConfig()
+				cfg.Profile = true
+				cfg.Engine = sim.EngineReference
+				ref, err := sim.Execute(img, cfg)
+				if err != nil {
+					t.Fatalf("seed %d -O%d: reference: %v", seed, lvl, err)
+				}
+				for _, eng := range engines {
+					ecfg := cfg
+					ecfg.Engine = eng
+					got, err := sim.Execute(img, ecfg)
+					if err != nil {
+						t.Fatalf("seed %d -O%d %s: %v", seed, lvl, eng, err)
+					}
+					label := fmt.Sprintf("seed %d -O%d %s", seed, lvl, eng)
+					if got.Steps != ref.Steps || got.Cycles != ref.Cycles || got.ExitCode != ref.ExitCode {
+						t.Errorf("%s: steps/cycles/exit %d/%d/%d != reference %d/%d/%d",
+							label, got.Steps, got.Cycles, got.ExitCode, ref.Steps, ref.Cycles, ref.ExitCode)
+					}
+					if !reflect.DeepEqual(got.Profile.InstCount, ref.Profile.InstCount) {
+						t.Errorf("%s: InstCount differs", label)
+					}
+					if !reflect.DeepEqual(got.Profile.EdgeCount, ref.Profile.EdgeCount) {
+						t.Errorf("%s: EdgeCount differs", label)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShapeFusionContrast checks the shapes do what their names claim:
+// aggregated over seeds, the straightline kernels retire a clearly
+// larger share of their dynamic stream inside fused superops than the
+// branch-dense kernels.
+func TestShapeFusionContrast(t *testing.T) {
+	coverage := func(cfg Config) float64 {
+		var agg sim.FusionStats
+		for seed := int64(0); seed < 10; seed++ {
+			p := Generate(seed, cfg)
+			img, err := mcc.Compile(p.Source, mcc.Options{OptLevel: 1})
+			if err != nil {
+				t.Fatalf("seed %d: compile: %v\n%s", seed, err, p.Source)
+			}
+			m, err := sim.New(img, sim.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatalf("seed %d: run: %v", seed, err)
+			}
+			agg.Merge(m.FusionStats())
+		}
+		return agg.Coverage
+	}
+	straight := coverage(StraightlineConfig())
+	branchy := coverage(BranchyConfig())
+	t.Logf("fusion coverage: straightline %.1f%%, branchy %.1f%%", 100*straight, 100*branchy)
+	if straight < 0.6 {
+		t.Errorf("straightline coverage %.1f%% below 60%% — shape is not fusion-friendly", 100*straight)
+	}
+	if branchy >= straight {
+		t.Errorf("branchy coverage %.1f%% not below straightline %.1f%% — shapes do not bracket the translator",
+			100*branchy, 100*straight)
+	}
+	// Shape markers recorded by the generator.
+	if p := Generate(1, StraightlineConfig()); !p.HasShape("straightline") {
+		t.Error("straightline program missing its shape marker")
+	}
+	if p := Generate(1, BranchyConfig()); !p.HasShape("branch-dense") {
+		t.Error("branchy program missing its shape marker")
+	}
+}

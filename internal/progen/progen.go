@@ -59,6 +59,16 @@ type Config struct {
 	// switch compiles to the indirect-jump idiom the decompiler's
 	// switch-table recovery must resolve.
 	Switches bool
+	// Straightline restricts the kernel to long unbranched runs of
+	// scalar and array arithmetic (hot loops allowed, ifs and switches
+	// not): the fusion-friendly extreme, where basic blocks are long and
+	// the simulator's superinstruction translator should cover most of
+	// the dynamic stream.
+	Straightline bool
+	// Branchy makes nearly every statement a conditional guarding a
+	// single assignment: basic blocks of one or two instructions, the
+	// fusion-hostile extreme where almost no adjacent pair is fusible.
+	Branchy bool
 }
 
 // SwitchConfig returns the switch-rich bounds used by the differential
@@ -70,6 +80,18 @@ func SwitchConfig() Config {
 // DefaultConfig returns moderate bounds.
 func DefaultConfig() Config {
 	return Config{MaxStmts: 6, MaxDepth: 3, MaxLoops: 3, Arrays: true}
+}
+
+// StraightlineConfig returns the fusion-friendly bounds: long unbranched
+// statement runs, one hot loop for dynamic weight.
+func StraightlineConfig() Config {
+	return Config{MaxStmts: 24, MaxDepth: 2, MaxLoops: 1, Arrays: true, Straightline: true}
+}
+
+// BranchyConfig returns the fusion-hostile bounds: branch-per-statement
+// kernels whose basic blocks are too short to fuse.
+func BranchyConfig() Config {
+	return Config{MaxStmts: 10, MaxDepth: 1, MaxLoops: 2, Arrays: true, Branchy: true}
 }
 
 type gen struct {
@@ -159,6 +181,14 @@ func (g *gen) block(loops int) {
 }
 
 func (g *gen) stmt(loops int) {
+	if g.cfg.Straightline {
+		g.straightStmt(loops)
+		return
+	}
+	if g.cfg.Branchy {
+		g.branchyStmt(loops)
+		return
+	}
 	switch k := g.r.Intn(10); {
 	case k < 3: // plain assignment
 		g.pf("%s = %s;", g.scalar(), g.expr(g.cfg.MaxDepth))
@@ -205,6 +235,88 @@ func (g *gen) stmt(loops int) {
 		g.pf("}")
 	default:
 		g.pf("%s = %s;", g.scalar(), g.expr(g.cfg.MaxDepth))
+	}
+}
+
+// straightStmt emits the fusion-friendly extreme: plain scalar and
+// array arithmetic only, optionally wrapped in one hot loop so the long
+// straightline body dominates the dynamic stream.
+func (g *gen) straightStmt(loops int) {
+	g.mark("straightline")
+	if loops > 0 && g.loopDepth == 0 && g.r.Intn(3) == 0 {
+		iv := fmt.Sprintf("i%d", g.loopN)
+		g.loopN++
+		bound := 16 + g.r.Intn(48)
+		g.pf("int %s;", iv)
+		g.pf("for (%s = 0; %s < %d; %s++) {", iv, iv, bound, iv)
+		saved := g.indent
+		g.indent += "\t"
+		g.scals = append(g.scals, iv)
+		g.loopDepth++
+		inner := 8 + g.r.Intn(g.cfg.MaxStmts)
+		for j := 0; j < inner; j++ {
+			g.straightStmt(0)
+		}
+		g.loopDepth--
+		g.scals = g.scals[:len(g.scals)-1]
+		g.indent = saved
+		g.pf("}")
+		return
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		ops := []string{"+=", "-=", "^=", "|=", "&="}
+		g.pf("%s %s %s;", g.scalar(), ops[g.r.Intn(len(ops))], g.expr(g.cfg.MaxDepth))
+	case 1:
+		if g.cfg.Arrays {
+			g.pf("ga[(%s) & 15] = %s;", g.expr(1), g.expr(g.cfg.MaxDepth))
+			return
+		}
+		fallthrough
+	default:
+		g.pf("%s = %s;", g.scalar(), g.expr(g.cfg.MaxDepth))
+	}
+}
+
+// branchyStmt emits the fusion-hostile extreme: nearly every statement
+// is a conditional guarding a single assignment, so basic blocks hold
+// one or two instructions and almost no adjacent pair is fusible.
+func (g *gen) branchyStmt(loops int) {
+	g.mark("branch-dense")
+	switch k := g.r.Intn(8); {
+	case k < 5:
+		g.pf("if (%s %s %s) {", g.scalar(), g.relop(), g.leaf())
+		saved := g.indent
+		g.indent += "\t"
+		g.pf("%s = %s;", g.scalar(), g.expr(1))
+		g.indent = saved
+		if g.r.Intn(2) == 0 {
+			g.pf("} else {")
+			g.indent += "\t"
+			g.pf("%s = %s;", g.scalar(), g.expr(1))
+			g.indent = saved
+		}
+		g.pf("}")
+	case k < 7 && loops > 0:
+		iv := fmt.Sprintf("i%d", g.loopN)
+		g.loopN++
+		bound := 2 + g.r.Intn(10)
+		g.pf("int %s;", iv)
+		g.pf("for (%s = 0; %s < %d; %s++) {", iv, iv, bound, iv)
+		saved := g.indent
+		g.indent += "\t"
+		g.scals = append(g.scals, iv)
+		g.loopDepth++
+		inner := 1 + g.r.Intn(3)
+		for j := 0; j < inner; j++ {
+			g.branchyStmt(loops - 1)
+		}
+		g.loopDepth--
+		g.scals = g.scals[:len(g.scals)-1]
+		g.indent = saved
+		g.pf("}")
+	default:
+		g.pf("%s = %s;", g.scalar(), g.expr(1))
 	}
 }
 

@@ -1,0 +1,82 @@
+// Batched multi-core simulation. Images are immutable and each job gets
+// its own Machine, so a batch shares no mutable state at all — RunBatch
+// just fans jobs out over a worker pool and fills a result slice in
+// order.
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"binpart/internal/binimg"
+)
+
+// BatchJob is one independent simulation: an image plus its config.
+type BatchJob struct {
+	Img *binimg.Image
+	Cfg Config
+}
+
+// BatchResult is one job's outcome. Fusion carries the translation and
+// fusion counters for the threaded engines (zero-valued for
+// EngineReference, which has neither).
+type BatchResult struct {
+	Res    Result
+	Err    error
+	Dur    time.Duration
+	Fusion FusionStats
+}
+
+// RunBatch executes every job and returns results in job order. workers
+// <= 0 means GOMAXPROCS. Job errors land in the corresponding
+// BatchResult — the batch itself never fails, so callers can triage
+// per-job.
+func RunBatch(jobs []BatchJob, workers int) []BatchResult {
+	results := make([]BatchResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = runOneJob(jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runOneJob executes a single batch job, harvesting fusion stats from
+// the threaded engines before the pooled machine is recycled.
+func runOneJob(j BatchJob) BatchResult {
+	start := time.Now()
+	if j.Cfg.Engine == EngineReference {
+		res, err := ExecuteReference(j.Img, j.Cfg)
+		return BatchResult{Res: res, Err: err, Dur: time.Since(start)}
+	}
+	m, err := acquire(j.Img, j.Cfg)
+	if err != nil {
+		return BatchResult{Err: err, Dur: time.Since(start)}
+	}
+	res, err := m.Run()
+	fus := m.FusionStats()
+	release(m)
+	return BatchResult{Res: res, Err: err, Dur: time.Since(start), Fusion: fus}
+}

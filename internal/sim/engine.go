@@ -1,0 +1,53 @@
+package sim
+
+import "fmt"
+
+// Engine selects the execution engine behind Execute. All engines are
+// bit-identical — same Steps, Cycles, ExitCode, error conditions, and
+// Profile maps — and the differential suite (simdiff_test.go plus the
+// progen engine differentials) holds them to that; they differ only in
+// throughput.
+type Engine uint8
+
+const (
+	// EngineFused is the default (zero value): threaded-code blocks with
+	// superinstruction fusion. Each basic block is translated once, on
+	// first execution, into a flat run of tag-dispatched superops;
+	// dominant dynamic pairs/triples (compare+branch, lui+ori address
+	// formation, load+op, addiu loop latches) collapse into single fused
+	// ops with merged cycle costs.
+	EngineFused Engine = iota
+	// EngineBlock is threaded-code translation without the fusion
+	// peephole: one superop per instruction. The ablation point that
+	// separates the translation win from the fusion win.
+	EngineBlock
+	// EngineReference is the preserved original per-instruction stepper
+	// (ExecuteReference): the semantic baseline, deliberately unoptimized.
+	EngineReference
+)
+
+// String returns the engine's flag spelling.
+func (e Engine) String() string {
+	switch e {
+	case EngineFused:
+		return "fused"
+	case EngineBlock:
+		return "block"
+	case EngineReference:
+		return "reference"
+	}
+	return fmt.Sprintf("engine(%d)", uint8(e))
+}
+
+// ParseEngine parses a -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "fused", "":
+		return EngineFused, nil
+	case "block":
+		return EngineBlock, nil
+	case "reference":
+		return EngineReference, nil
+	}
+	return 0, fmt.Errorf("sim: unknown engine %q (want reference, block, or fused)", s)
+}

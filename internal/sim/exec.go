@@ -1,0 +1,652 @@
+// The threaded-code execution engine (EngineBlock / EngineFused).
+//
+// Run walks basic blocks: each entry PC is validated once, the block's
+// translation is looked up (or built, translate.go), the whole block's
+// steps and cycles are charged up front, and the inner loop dispatches
+// superops with no per-instruction accounting at all — no step counter,
+// no cycle add for straight-line ops, no profile increment (per-block
+// execution counters reconstruct per-instruction counts at run end).
+// Faulting constituents rewind the up-front charge (blockFault) so
+// steps, cycles, and the faulting PC match the reference stepper bit
+// for bit; a step budget that cannot cover the next whole block hands
+// the rest of the run to the per-instruction interpreter (runInterp),
+// which truncates on exactly the right instruction.
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"binpart/internal/binimg"
+	"binpart/internal/mips"
+)
+
+// Run executes until BREAK, an error, or the step limit, using the
+// threaded-code engine (with fusion unless cfg.Engine is EngineBlock).
+func (m *Machine) Run() (Result, error) {
+	var res Result
+	maxSteps := m.cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultConfig().MaxSteps
+	}
+	cm := m.cm
+	code := m.code
+	regs := &m.Regs
+	textBase := m.img.TextBase
+	textEnd := m.img.TextEnd()
+	pc := m.PC
+	var steps, cycles uint64
+
+	if pc&3 != 0 || pc < textBase || pc >= textEnd {
+		return m.fail(&res, steps, cycles, pc,
+			fmt.Errorf("sim: PC 0x%x outside text", pc))
+	}
+	tix := code[(pc-textBase)>>2].tix
+	if tix < 0 {
+		tix = m.translate(int32((pc - textBase) >> 2))
+	}
+
+outer:
+	for {
+		blk := &m.tblocks[tix]
+		if steps+blk.steps > maxSteps {
+			// The budget expires inside (or right at) this block: finish the
+			// run on the per-instruction interpreter, which clamps to the
+			// exact step and reports the step limit at the right PC.
+			return m.runInterp(textBase+uint32(4*blk.start), steps, cycles)
+		}
+		steps += blk.steps
+		cycles += blk.cost
+		blk.exec++
+		off := blk.off
+		run := m.fops[off : off+blk.n]
+		for fi := 0; fi < len(run); fi++ {
+			f := &run[fi]
+			switch f.op {
+			case mips.NOP:
+			case mips.BREAK:
+				m.PC = textBase + uint32(4*f.idx)
+				m.lastSteps = steps
+				res.Steps, res.Cycles = steps, cycles
+				res.ExitCode = int32(regs[mips.V0])
+				res.Profile = m.buildProfile()
+				return res, nil
+			case mips.ADD, mips.ADDU:
+				regs[f.rd&31] = regs[f.rs&31] + regs[f.rt&31]
+				regs[0] = 0
+			case mips.SUB, mips.SUBU:
+				regs[f.rd&31] = regs[f.rs&31] - regs[f.rt&31]
+				regs[0] = 0
+			case mips.AND:
+				regs[f.rd&31] = regs[f.rs&31] & regs[f.rt&31]
+				regs[0] = 0
+			case mips.OR:
+				regs[f.rd&31] = regs[f.rs&31] | regs[f.rt&31]
+				regs[0] = 0
+			case mips.XOR:
+				regs[f.rd&31] = regs[f.rs&31] ^ regs[f.rt&31]
+				regs[0] = 0
+			case mips.NOR:
+				regs[f.rd&31] = ^(regs[f.rs&31] | regs[f.rt&31])
+				regs[0] = 0
+			case mips.SLT:
+				regs[f.rd&31] = b2u(int32(regs[f.rs&31]) < int32(regs[f.rt&31]))
+				regs[0] = 0
+			case mips.SLTU:
+				regs[f.rd&31] = b2u(regs[f.rs&31] < regs[f.rt&31])
+				regs[0] = 0
+			case mips.SLL:
+				regs[f.rd&31] = regs[f.rt&31] << f.immU
+				regs[0] = 0
+			case mips.SRL:
+				regs[f.rd&31] = regs[f.rt&31] >> f.immU
+				regs[0] = 0
+			case mips.SRA:
+				regs[f.rd&31] = uint32(int32(regs[f.rt&31]) >> f.immU)
+				regs[0] = 0
+			case mips.SLLV:
+				regs[f.rd&31] = regs[f.rt&31] << (regs[f.rs&31] & 31)
+				regs[0] = 0
+			case mips.SRLV:
+				regs[f.rd&31] = regs[f.rt&31] >> (regs[f.rs&31] & 31)
+				regs[0] = 0
+			case mips.SRAV:
+				regs[f.rd&31] = uint32(int32(regs[f.rt&31]) >> (regs[f.rs&31] & 31))
+				regs[0] = 0
+			case mips.MULT:
+				p := int64(int32(regs[f.rs&31])) * int64(int32(regs[f.rt&31]))
+				m.LO, m.HI = uint32(p), uint32(uint64(p)>>32)
+			case mips.MULTU:
+				p := uint64(regs[f.rs&31]) * uint64(regs[f.rt&31])
+				m.LO, m.HI = uint32(p), uint32(p>>32)
+			case mips.DIV:
+				rs, rt := regs[f.rs&31], regs[f.rt&31]
+				if rt == 0 {
+					m.LO, m.HI = 0, rs // architecturally undefined; pick stable values
+				} else if int32(rs) == -1<<31 && int32(rt) == -1 {
+					m.LO, m.HI = rs, 0
+				} else {
+					m.LO = uint32(int32(rs) / int32(rt))
+					m.HI = uint32(int32(rs) % int32(rt))
+				}
+			case mips.DIVU:
+				rs, rt := regs[f.rs&31], regs[f.rt&31]
+				if rt == 0 {
+					m.LO, m.HI = 0, rs
+				} else {
+					m.LO, m.HI = rs/rt, rs%rt
+				}
+			case mips.MFHI:
+				regs[f.rd&31] = m.HI
+				regs[0] = 0
+			case mips.MFLO:
+				regs[f.rd&31] = m.LO
+				regs[0] = 0
+			case mips.MTHI:
+				m.HI = regs[f.rs&31]
+			case mips.MTLO:
+				m.LO = regs[f.rs&31]
+			case mips.ADDI, mips.ADDIU:
+				regs[f.rt&31] = regs[f.rs&31] + f.immU
+				regs[0] = 0
+			case mips.SLTI:
+				regs[f.rt&31] = b2u(int32(regs[f.rs&31]) < f.imm)
+				regs[0] = 0
+			case mips.SLTIU:
+				regs[f.rt&31] = b2u(regs[f.rs&31] < f.immU)
+				regs[0] = 0
+			case mips.ANDI:
+				regs[f.rt&31] = regs[f.rs&31] & f.immU
+				regs[0] = 0
+			case mips.ORI:
+				regs[f.rt&31] = regs[f.rs&31] | f.immU
+				regs[0] = 0
+			case mips.XORI:
+				regs[f.rt&31] = regs[f.rs&31] ^ f.immU
+				regs[0] = 0
+			case mips.LUI:
+				regs[f.rt&31] = f.immU
+				regs[0] = 0
+			case mips.LB:
+				addr := regs[f.rs&31] + f.immU
+				if addr < 0x1000 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, loadFault(addr, 1))
+				}
+				v := m.mem.Page(addr)[addr&binimg.PageMask]
+				regs[f.rt&31] = uint32(int32(int8(v)))
+				regs[0] = 0
+			case mips.LBU:
+				addr := regs[f.rs&31] + f.immU
+				if addr < 0x1000 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, loadFault(addr, 1))
+				}
+				regs[f.rt&31] = uint32(m.mem.Page(addr)[addr&binimg.PageMask])
+				regs[0] = 0
+			case mips.LH:
+				addr := regs[f.rs&31] + f.immU
+				if addr < 0x1000 || addr&1 != 0 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, loadFault(addr, 2))
+				}
+				v := binary.LittleEndian.Uint16(m.mem.Page(addr)[addr&binimg.PageMask:])
+				regs[f.rt&31] = uint32(int32(int16(v)))
+				regs[0] = 0
+			case mips.LHU:
+				addr := regs[f.rs&31] + f.immU
+				if addr < 0x1000 || addr&1 != 0 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, loadFault(addr, 2))
+				}
+				regs[f.rt&31] = uint32(binary.LittleEndian.Uint16(m.mem.Page(addr)[addr&binimg.PageMask:]))
+				regs[0] = 0
+			case mips.LW:
+				addr := regs[f.rs&31] + f.immU
+				if addr < 0x1000 || addr&3 != 0 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, loadFault(addr, 4))
+				}
+				regs[f.rt&31] = binary.LittleEndian.Uint32(m.mem.Page(addr)[addr&binimg.PageMask:])
+				regs[0] = 0
+			case mips.SB:
+				addr := regs[f.rs&31] + f.immU
+				if addr < 0x1000 || (addr >= textBase && addr < textEnd) {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, storeFault(addr, 1))
+				}
+				m.mem.Page(addr)[addr&binimg.PageMask] = byte(regs[f.rt&31])
+			case mips.SH:
+				addr := regs[f.rs&31] + f.immU
+				if addr < 0x1000 || addr&1 != 0 || (addr >= textBase && addr < textEnd) {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, storeFault(addr, 2))
+				}
+				binary.LittleEndian.PutUint16(m.mem.Page(addr)[addr&binimg.PageMask:], uint16(regs[f.rt&31]))
+			case mips.SW:
+				addr := regs[f.rs&31] + f.immU
+				if addr < 0x1000 || addr&3 != 0 || (addr >= textBase && addr < textEnd) {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, storeFault(addr, 4))
+				}
+				binary.LittleEndian.PutUint32(m.mem.Page(addr)[addr&binimg.PageMask:], regs[f.rt&31])
+			case mips.BEQ:
+				if regs[f.rs&31] == regs[f.rt&31] {
+					cycles += cm.BranchTaken
+					if f.edge >= 0 {
+						m.edges[f.edge].n++
+					}
+					goto taken
+				}
+				cycles += cm.BranchNot
+			case mips.BNE:
+				if regs[f.rs&31] != regs[f.rt&31] {
+					cycles += cm.BranchTaken
+					if f.edge >= 0 {
+						m.edges[f.edge].n++
+					}
+					goto taken
+				}
+				cycles += cm.BranchNot
+			case mips.BLEZ:
+				if int32(regs[f.rs&31]) <= 0 {
+					cycles += cm.BranchTaken
+					if f.edge >= 0 {
+						m.edges[f.edge].n++
+					}
+					goto taken
+				}
+				cycles += cm.BranchNot
+			case mips.BGTZ:
+				if int32(regs[f.rs&31]) > 0 {
+					cycles += cm.BranchTaken
+					if f.edge >= 0 {
+						m.edges[f.edge].n++
+					}
+					goto taken
+				}
+				cycles += cm.BranchNot
+			case mips.BLTZ:
+				if int32(regs[f.rs&31]) < 0 {
+					cycles += cm.BranchTaken
+					if f.edge >= 0 {
+						m.edges[f.edge].n++
+					}
+					goto taken
+				}
+				cycles += cm.BranchNot
+			case mips.BGEZ:
+				if int32(regs[f.rs&31]) >= 0 {
+					cycles += cm.BranchTaken
+					if f.edge >= 0 {
+						m.edges[f.edge].n++
+					}
+					goto taken
+				}
+				cycles += cm.BranchNot
+			case mips.J:
+				if f.edge >= 0 {
+					m.edges[f.edge].n++
+				}
+				goto taken
+			case mips.JAL:
+				regs[mips.RA] = f.immU // precomputed return address
+				if f.edge >= 0 {
+					m.edges[f.edge].n++
+				}
+				goto taken
+			case mips.JR:
+				t := regs[f.rs&31]
+				if t&3 != 0 || t < textBase || t >= textEnd {
+					// The jump's step and cost are already charged — the
+					// reference charges both before the target check.
+					here := textBase + uint32(4*f.idx)
+					return m.fail(&res, steps, cycles, here,
+						fmt.Errorf("sim: jr at 0x%x: jump target 0x%x outside text", here, t))
+				}
+				if f.jr >= 0 {
+					m.recordDynEdge(f.jr, t)
+				}
+				// Dynamic target: resolve the block index each time.
+				tix = code[(t-textBase)>>2].tix
+				if tix < 0 {
+					tix = m.translate(int32((t - textBase) >> 2))
+				}
+				continue outer
+			case mips.JALR:
+				t := regs[f.rs&31]
+				regs[f.rd&31] = f.immU // precomputed return address
+				regs[0] = 0
+				if t&3 != 0 || t < textBase || t >= textEnd {
+					here := textBase + uint32(4*f.idx)
+					return m.fail(&res, steps, cycles, here,
+						fmt.Errorf("sim: jalr at 0x%x: jump target 0x%x outside text", here, t))
+				}
+				if f.jr >= 0 {
+					m.recordDynEdge(f.jr, t)
+				}
+				tix = code[(t-textBase)>>2].tix
+				if tix < 0 {
+					tix = m.translate(int32((t - textBase) >> 2))
+				}
+				continue outer
+
+			// Fused ALU halves use the split micro evaluator: both
+			// microArith and microCmpShift inline (a single full-width
+			// evaluator would blow the inlining budget and cost a call
+			// plus a second dispatch per half — see translate.go).
+			case fuseAddAdd:
+				regs[f.rd&31] = regs[f.rs&31] + regs[f.rt&31] + f.immU
+				regs[0] = 0
+				regs[f.x&31] = regs[f.y&31] + regs[f.z&31] + uint32(f.imm)
+				regs[0] = 0
+			case fuseAddAlu:
+				regs[f.rd&31] = regs[f.rs&31] + regs[f.rt&31] + f.immU
+				regs[0] = 0
+				if k2 := uint8(f.target); k2 < uSLT {
+					regs[f.x&31] = microArith(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				} else {
+					regs[f.x&31] = microCmpShift(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				}
+				regs[0] = 0
+			case fuseAluAdd:
+				if f.sub < uSLT {
+					regs[f.rd&31] = microArith(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				} else {
+					regs[f.rd&31] = microCmpShift(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				}
+				regs[0] = 0
+				regs[f.x&31] = regs[f.y&31] + regs[f.z&31] + uint32(f.imm)
+				regs[0] = 0
+			case fuseAluAlu:
+				if f.sub < uSLT {
+					regs[f.rd&31] = microArith(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				} else {
+					regs[f.rd&31] = microCmpShift(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				}
+				regs[0] = 0
+				if k2 := uint8(f.target); k2 < uSLT {
+					regs[f.x&31] = microArith(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				} else {
+					regs[f.x&31] = microCmpShift(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				}
+				regs[0] = 0
+			case fuseAluBranch:
+				if f.sub < uSLT {
+					regs[f.rd&31] = microArith(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				} else {
+					regs[f.rd&31] = microCmpShift(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				}
+				regs[0] = 0
+				if takeBranch(f.z, regs[f.x&31], regs[f.y&31]) {
+					cycles += cm.BranchTaken
+					if f.edge >= 0 {
+						m.edges[f.edge].n++
+					}
+					goto taken
+				}
+				cycles += cm.BranchNot
+			case fuseLuiOri:
+				regs[f.rs&31] = uint32(f.imm) // the LUI half (rs != $zero by pattern)
+				regs[f.rd&31] = f.immU        // the combined constant
+				regs[0] = 0
+			case fuseLwAlu:
+				addr := regs[f.rs&31] + f.immU
+				if addr < 0x1000 || addr&3 != 0 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, loadFault(addr, 4))
+				}
+				regs[f.rt&31] = binary.LittleEndian.Uint32(m.mem.Page(addr)[addr&binimg.PageMask:])
+				regs[0] = 0
+				if k2 := uint8(f.target); k2 < uSLT {
+					regs[f.x&31] = microArith(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				} else {
+					regs[f.x&31] = microCmpShift(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				}
+				regs[0] = 0
+			case fuseLoadAlu:
+				addr := regs[f.rs&31] + f.immU
+				v, w := m.loadMem(mips.Op(f.sub), addr)
+				if w != 0 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, loadFault(addr, w))
+				}
+				regs[f.rt&31] = v
+				regs[0] = 0
+				if k2 := uint8(f.target); k2 < uSLT {
+					regs[f.x&31] = microArith(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				} else {
+					regs[f.x&31] = microCmpShift(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				}
+				regs[0] = 0
+			case fuseAluLw:
+				if f.sub < uSLT {
+					regs[f.rd&31] = microArith(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				} else {
+					regs[f.rd&31] = microCmpShift(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				}
+				regs[0] = 0
+				addr := regs[f.y&31] + uint32(f.imm)
+				if addr < 0x1000 || addr&3 != 0 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx+1, loadFault(addr, 4))
+				}
+				regs[f.x&31] = binary.LittleEndian.Uint32(m.mem.Page(addr)[addr&binimg.PageMask:])
+				regs[0] = 0
+			case fuseAluLbu:
+				if f.sub < uSLT {
+					regs[f.rd&31] = microArith(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				} else {
+					regs[f.rd&31] = microCmpShift(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				}
+				regs[0] = 0
+				addr := regs[f.y&31] + uint32(f.imm)
+				if addr < 0x1000 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx+1, loadFault(addr, 1))
+				}
+				regs[f.x&31] = uint32(m.mem.Page(addr)[addr&binimg.PageMask])
+				regs[0] = 0
+			case fuseAluLoad:
+				if f.sub < uSLT {
+					regs[f.rd&31] = microArith(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				} else {
+					regs[f.rd&31] = microCmpShift(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				}
+				regs[0] = 0
+				addr := regs[f.y&31] + uint32(f.imm)
+				v, w := m.loadMem(mips.Op(f.target), addr)
+				if w != 0 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx+1, loadFault(addr, w))
+				}
+				regs[f.x&31] = v
+				regs[0] = 0
+			case fuseAluSw:
+				if f.sub < uSLT {
+					regs[f.rd&31] = microArith(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				} else {
+					regs[f.rd&31] = microCmpShift(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				}
+				regs[0] = 0
+				addr := regs[f.y&31] + uint32(f.imm)
+				if addr < 0x1000 || addr&3 != 0 || (addr >= textBase && addr < textEnd) {
+					return m.blockFault(&res, steps, cycles, blk, f.idx+1, storeFault(addr, 4))
+				}
+				binary.LittleEndian.PutUint32(m.mem.Page(addr)[addr&binimg.PageMask:], regs[f.x&31])
+			case fuseAluStore:
+				if f.sub < uSLT {
+					regs[f.rd&31] = microArith(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				} else {
+					regs[f.rd&31] = microCmpShift(f.sub, regs[f.rs&31], regs[f.rt&31], f.immU)
+				}
+				regs[0] = 0
+				addr := regs[f.y&31] + uint32(f.imm)
+				if w := m.storeMem(mips.Op(f.target), addr, regs[f.x&31]); w != 0 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx+1, storeFault(addr, w))
+				}
+			case fuseSwAlu:
+				addr := regs[f.rs&31] + f.immU
+				if addr < 0x1000 || addr&3 != 0 || (addr >= textBase && addr < textEnd) {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, storeFault(addr, 4))
+				}
+				binary.LittleEndian.PutUint32(m.mem.Page(addr)[addr&binimg.PageMask:], regs[f.rt&31])
+				if k2 := uint8(f.target); k2 < uSLT {
+					regs[f.x&31] = microArith(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				} else {
+					regs[f.x&31] = microCmpShift(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				}
+				regs[0] = 0
+			case fuseStoreAlu:
+				addr := regs[f.rs&31] + f.immU
+				if w := m.storeMem(mips.Op(f.sub), addr, regs[f.rt&31]); w != 0 {
+					return m.blockFault(&res, steps, cycles, blk, f.idx, storeFault(addr, w))
+				}
+				if k2 := uint8(f.target); k2 < uSLT {
+					regs[f.x&31] = microArith(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				} else {
+					regs[f.x&31] = microCmpShift(k2, regs[f.y&31], regs[f.z&31], uint32(f.imm))
+				}
+				regs[0] = 0
+			case fuseMultMflo:
+				var lo, hi uint32
+				if f.sub == 0 { // MULT
+					p := int64(int32(regs[f.rs&31])) * int64(int32(regs[f.rt&31]))
+					lo, hi = uint32(p), uint32(uint64(p)>>32)
+				} else { // MULTU
+					p := uint64(regs[f.rs&31]) * uint64(regs[f.rt&31])
+					lo, hi = uint32(p), uint32(p>>32)
+				}
+				m.LO, m.HI = lo, hi
+				regs[f.rd&31] = lo
+				regs[0] = 0
+			case fuseAddiuAddiuBranch:
+				regs[f.rt&31] = regs[f.rs&31] + f.immU
+				regs[0] = 0
+				regs[f.rd&31] = regs[f.x&31] + uint32(f.imm)
+				regs[0] = 0
+				if takeBranch(f.sub, regs[f.y&31], regs[f.z&31]) {
+					cycles += cm.BranchTaken
+					if f.edge >= 0 {
+						m.edges[f.edge].n++
+					}
+					goto taken
+				}
+				cycles += cm.BranchNot
+			default:
+				here := textBase + uint32(4*f.idx)
+				return m.fail(&res, steps, cycles, here,
+					fmt.Errorf("sim: unimplemented op %v at 0x%x", f.op, here))
+			}
+			continue
+
+			// A taken branch or direct jump: chain straight to the target
+			// block, resolving and caching its index in the superop on
+			// first use. After the first taken transfer, steady-state
+			// execution never recomputes or validates the target PC.
+		taken:
+			t := f.tix
+			if t < 0 {
+				tgt := f.target
+				if t = m.tixFor(tgt); t < 0 {
+					return m.edgeFail(&res, steps, cycles, tgt, maxSteps)
+				}
+				// Store via index: tixFor may have grown m.fops, moving the
+				// backing array out from under f.
+				m.fops[off+int32(fi)].tix = t
+			}
+			tix = t
+			continue outer
+		}
+		// The block fell through its not-taken terminator (or ran off the
+		// end of text). Chain to the cached fallthrough successor.
+		nf := blk.next
+		if nf < 0 {
+			fpc := textBase + uint32(4*(blk.end+1))
+			if nf = m.tixFor(fpc); nf < 0 {
+				return m.edgeFail(&res, steps, cycles, fpc, maxSteps)
+			}
+			m.tblocks[tix].next = nf
+		}
+		tix = nf
+	}
+}
+
+// edgeFail reports the right error after a control transfer to an
+// invalid PC. The reference stepper checks the step budget before PC
+// validity at the top of its loop, so a run that spends its last step on
+// the transfer reports the step limit, not the bad PC.
+func (m *Machine) edgeFail(res *Result, steps, cycles uint64, target uint32, maxSteps uint64) (Result, error) {
+	if steps >= maxSteps {
+		return m.fail(res, steps, cycles, target,
+			fmt.Errorf("sim: step limit (%d) exceeded at PC 0x%x", maxSteps, target))
+	}
+	return m.fail(res, steps, cycles, target,
+		fmt.Errorf("sim: PC 0x%x outside text", target))
+}
+
+// loadMem performs a load of kind op (LB/LBU/LH/LHU/LW) at addr for a
+// fused superop. A nonzero returned width signals a fault (near-null or
+// misaligned) and is the access width for the fault message; the fault
+// conditions match the plain dispatch cases exactly.
+func (m *Machine) loadMem(op mips.Op, addr uint32) (uint32, int) {
+	switch op {
+	case mips.LB:
+		if addr < 0x1000 {
+			return 0, 1
+		}
+		return uint32(int32(int8(m.mem.Page(addr)[addr&binimg.PageMask]))), 0
+	case mips.LBU:
+		if addr < 0x1000 {
+			return 0, 1
+		}
+		return uint32(m.mem.Page(addr)[addr&binimg.PageMask]), 0
+	case mips.LH:
+		if addr < 0x1000 || addr&1 != 0 {
+			return 0, 2
+		}
+		v := binary.LittleEndian.Uint16(m.mem.Page(addr)[addr&binimg.PageMask:])
+		return uint32(int32(int16(v))), 0
+	case mips.LHU:
+		if addr < 0x1000 || addr&1 != 0 {
+			return 0, 2
+		}
+		return uint32(binary.LittleEndian.Uint16(m.mem.Page(addr)[addr&binimg.PageMask:])), 0
+	}
+	// mips.LW
+	if addr < 0x1000 || addr&3 != 0 {
+		return 0, 4
+	}
+	return binary.LittleEndian.Uint32(m.mem.Page(addr)[addr&binimg.PageMask:]), 0
+}
+
+// storeMem performs a store of kind op (SB/SH/SW) at addr for a fused
+// superop, returning a nonzero access width on fault (near-null,
+// misaligned, or text-protected).
+func (m *Machine) storeMem(op mips.Op, addr, v uint32) int {
+	textBase, textEnd := m.img.TextBase, m.img.TextEnd()
+	switch op {
+	case mips.SB:
+		if addr < 0x1000 || (addr >= textBase && addr < textEnd) {
+			return 1
+		}
+		m.mem.Page(addr)[addr&binimg.PageMask] = byte(v)
+	case mips.SH:
+		if addr < 0x1000 || addr&1 != 0 || (addr >= textBase && addr < textEnd) {
+			return 2
+		}
+		binary.LittleEndian.PutUint16(m.mem.Page(addr)[addr&binimg.PageMask:], uint16(v))
+	default: // mips.SW
+		if addr < 0x1000 || addr&3 != 0 || (addr >= textBase && addr < textEnd) {
+			return 4
+		}
+		binary.LittleEndian.PutUint32(m.mem.Page(addr)[addr&binimg.PageMask:], v)
+	}
+	return 0
+}
+
+// blockFault finalizes a run that faulted at text index ti inside a
+// block whose full steps and cost were charged up front: the steps after
+// the faulting constituent are rewound (the fault's own step counts),
+// the cycles from the faulting constituent onward are rewound (its own
+// cycles are not charged — matching the reference), and the block's
+// execution counter is rolled back so profile reconstruction stays
+// exact.
+func (m *Machine) blockFault(res *Result, steps, cycles uint64, blk *tblock, ti int32, err error) (Result, error) {
+	blk.exec--
+	done := uint64(ti - blk.start) // constituents fully retired before the fault
+	steps = steps - blk.steps + done + 1
+	var tail uint64
+	for j := ti; j <= blk.end; j++ {
+		tail += m.code[j].cost
+	}
+	cycles -= tail
+	return m.fail(res, steps, cycles, m.img.TextBase+uint32(4*ti), err)
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// This file pins the fused engine's fault and truncation semantics:
+// when a fault or the step limit lands on a constituent *inside* a
+// fused superinstruction, the engine must report exactly what the
+// per-instruction reference stepper reports — same error text (and
+// therefore the same faulting PC), same retired step count, same cycle
+// total. The superop's merged accounting has to be unwound to the
+// faulting constituent, never rounded to the superop boundary.
+
+// engineCases runs src on all three engines under cfg and requires
+// bit-identical outcomes, errors included.
+func engineCases(t *testing.T, src string, cfg Config) {
+	t.Helper()
+	img := asmImage(t, src)
+	ref, refErr := ExecuteReference(img, cfg)
+	for _, eng := range []Engine{EngineBlock, EngineFused} {
+		ecfg := cfg
+		ecfg.Engine = eng
+		got, err := Execute(img, ecfg)
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("%s: err %v, reference err %v", eng, err, refErr)
+		}
+		if err != nil && err.Error() != refErr.Error() {
+			t.Errorf("%s: err %q, reference %q", eng, err, refErr)
+		}
+		if got.Steps != ref.Steps || got.Cycles != ref.Cycles || got.ExitCode != ref.ExitCode {
+			t.Errorf("%s: steps=%d cycles=%d exit=%d, reference steps=%d cycles=%d exit=%d",
+				eng, got.Steps, got.Cycles, got.ExitCode, ref.Steps, ref.Cycles, ref.ExitCode)
+		}
+	}
+}
+
+// TestFusedFaultPCs places faults on specific constituents of fusible
+// pairs: the memory op after an ALU op, the memory op before an ALU op,
+// a text-protected store inside a pair, and an indirect jump whose
+// fault message must name the jump's own PC.
+func TestFusedFaultPCs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		// addiu+lw is the dominant fused pair; the lw (second
+		// constituent) takes a misaligned address.
+		{"alu+lw misaligned", `
+			lui $t1, 0x1000
+			addiu $t1, $t1, 2
+			lw $v0, 0($t1)
+			break
+		`},
+		// mult+mflo pair first so the following addiu+lw pair starts on
+		// an even superop boundary, then the load faults.
+		{"paired then alu+lw fault", `
+			mult $t0, $t0
+			mflo $t0
+			lui $t1, 0x1000
+			addiu $t1, $t1, 2
+			lw $v0, 0($t1)
+			break
+		`},
+		// Load-first pair: the lw (first constituent) faults before its
+		// ALU partner executes.
+		{"lw+alu null", `
+			lw $t0, 0($zero)
+			addu $v0, $t0, $t0
+			break
+		`},
+		// Store into text inside an alu+sw pair.
+		{"alu+sw text store", `
+			lui $t1, 0x40
+			addiu $t2, $zero, 7
+			sw $t2, 0($t1)
+			break
+		`},
+		// sw+alu pair where the store (first constituent) faults.
+		{"sw+alu text store", `
+			lui $t1, 0x40
+			sw $t1, 0($t1)
+			addiu $v0, $v0, 1
+			break
+		`},
+		// Conditional branch fused with its compare, target outside
+		// text (branch off the end).
+		{"cmp+branch off end", `
+			addiu $t0, $zero, 1
+			slti $t1, $t0, 5
+			bne $t1, $zero, off
+			break
+		`},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			src := c.src
+			if c.name == "cmp+branch off end" {
+				// Label past the end of text: branch to the word after
+				// break.
+				src = `
+			addiu $t0, $zero, 1
+			slti $t1, $t0, 5
+			bne $t1, $zero, off
+			break
+		off:
+		`
+			}
+			engineCases(t, src, DefaultConfig())
+		})
+	}
+}
+
+// TestFusedBadJRAfterFusedRun pins the threaded engines' indirect-jump
+// fault contract after a fused run: the error names the jr's own PC and
+// target (richer than the reference's bare "PC outside text", by
+// design — see TestIndirectJumpTargetErrors), while the step and cycle
+// accounting still matches the reference exactly (the jump's step and
+// cycles are charged before the target check, as the reference does).
+func TestFusedBadJRAfterFusedRun(t *testing.T) {
+	src := `
+		addiu $t0, $zero, 3
+		addiu $t1, $t1, 5
+		addu $t2, $t0, $t1
+		jr $t2
+		break
+	`
+	img := asmImage(t, src)
+	ref, refErr := ExecuteReference(img, DefaultConfig())
+	if refErr == nil {
+		t.Fatal("reference did not fault")
+	}
+	for _, eng := range []Engine{EngineBlock, EngineFused} {
+		cfg := DefaultConfig()
+		cfg.Engine = eng
+		got, err := Execute(img, cfg)
+		if err == nil {
+			t.Fatalf("%s: no error", eng)
+		}
+		want := "sim: jr at 0x40000c: jump target 0x8 outside text"
+		if err.Error() != want {
+			t.Errorf("%s: err %q, want %q", eng, err, want)
+		}
+		if got.Steps != ref.Steps || got.Cycles != ref.Cycles {
+			t.Errorf("%s: steps=%d cycles=%d, reference steps=%d cycles=%d",
+				eng, got.Steps, got.Cycles, ref.Steps, ref.Cycles)
+		}
+	}
+}
+
+// TestFusedStepLimitTruncation sweeps the step limit across a loop body
+// built from fusible pairs, so the limit lands on every constituent
+// offset — including mid-superop — and the truncated steps, cycles, and
+// error text must match the reference stepper at every limit.
+func TestFusedStepLimitTruncation(t *testing.T) {
+	src := `
+		addiu $t1, $zero, 8
+	loop:
+		addiu $t2, $t2, 3
+		addu $t3, $t2, $t1
+		sll $t4, $t3, 1
+		addiu $t1, $t1, -1
+		bgtz $t1, loop
+		break
+	`
+	for limit := uint64(1); limit <= 45; limit++ {
+		limit := limit
+		t.Run(fmt.Sprintf("limit-%d", limit), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.MaxSteps = limit
+			engineCases(t, src, cfg)
+		})
+	}
+}
+
+// TestFusedStepLimitProfiled repeats the truncation sweep with
+// profiling on: the partial instruction counts the fused engine
+// reconstructs from block overlays are not part of Result on error
+// (Profile is nil on any error), but steps/cycles must still agree.
+func TestFusedStepLimitProfiled(t *testing.T) {
+	src := `
+		addiu $t1, $zero, 6
+	loop:
+		addiu $t2, $t2, 1
+		addu $t3, $t2, $t2
+		addiu $t1, $t1, -1
+		bgtz $t1, loop
+		break
+	`
+	for _, limit := range []uint64{1, 3, 5, 11, 17, 23} {
+		cfg := DefaultConfig()
+		cfg.Profile = true
+		cfg.MaxSteps = limit
+		img := asmImage(t, src)
+		ref, refErr := ExecuteReference(img, cfg)
+		for _, eng := range []Engine{EngineBlock, EngineFused} {
+			ecfg := cfg
+			ecfg.Engine = eng
+			got, err := Execute(img, ecfg)
+			if (err == nil) != (refErr == nil) {
+				t.Fatalf("limit %d %s: err %v, reference %v", limit, eng, err, refErr)
+			}
+			if err != nil && err.Error() != refErr.Error() {
+				t.Errorf("limit %d %s: err %q, reference %q", limit, eng, err, refErr)
+			}
+			if got.Steps != ref.Steps || got.Cycles != ref.Cycles {
+				t.Errorf("limit %d %s: steps=%d cycles=%d, reference steps=%d cycles=%d",
+					limit, eng, got.Steps, got.Cycles, ref.Steps, ref.Cycles)
+			}
+			if (got.Profile == nil) != (ref.Profile == nil) {
+				t.Errorf("limit %d %s: profile presence %v, reference %v",
+					limit, eng, got.Profile != nil, ref.Profile != nil)
+			}
+		}
+	}
+}

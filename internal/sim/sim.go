@@ -5,22 +5,34 @@
 // cost model, and the profiler's per-address and per-edge counts drive the
 // partitioner's "most frequent loops" step.
 //
-// Machine.Run is a fast-path interpreter: text is predecoded into a
-// per-instruction record carrying operands, precomputed immediates,
-// static control-transfer targets, and the instruction's cycle cost;
-// execution dispatches over basic-block runs discovered at decode time so
-// the PC-validity and step-limit checks are amortized per block; memory
-// is a sparse two-level page directory with direct little-endian word
-// accesses (binimg.Mem); and profile counters are dense slices indexed by
+// Three engines share one set of semantics (see Engine):
+//
+//   - EngineReference is the original per-instruction stepper
+//     (reference.go), preserved as the semantic oracle.
+//   - EngineBlock predecodes text into pinst records, then translates each
+//     basic block once, on first execution, into a flat run of
+//     tag-dispatched superops (translate.go) executed by a threaded inner
+//     loop (exec.go) that accounts steps and cycles per block instead of
+//     per instruction.
+//   - EngineFused (the default) additionally runs a translation-time
+//     peephole that fuses dominant dynamic pairs/triples — compare+branch,
+//     lui+ori address formation, load+ALU, and addiu loop latches — into
+//     single superops with merged cycle costs. Profile output is
+//     unchanged: per-instruction counts are reconstructed from per-block
+//     execution counters, so fused constituents keep their own PCs.
+//
+// Memory is a sparse two-level page directory with direct little-endian
+// word accesses (binimg.Mem); profile counters are dense slices indexed by
 // text position, converted to the map-shaped Profile only when a run
-// completes. The original per-instruction stepper is preserved in
-// reference.go (ExecuteReference) and the differential tests assert both
-// produce identical Steps, Cycles, ExitCode, and profile maps.
+// completes. The differential tests (simdiff_test.go and the progen
+// engine differentials) assert all engines produce identical Steps,
+// Cycles, ExitCode, and profile maps.
 package sim
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"binpart/internal/binimg"
 	"binpart/internal/mips"
@@ -57,6 +69,10 @@ type Config struct {
 	MaxSteps uint64
 	Cycles   CycleModel
 	Profile  bool
+	// Engine selects the execution engine (default EngineFused). All
+	// engines are bit-identical; Execute dispatches EngineReference to
+	// the preserved stepper, everything else to Machine.Run.
+	Engine Engine
 }
 
 // DefaultConfig returns a Config suitable for the benchmark suite.
@@ -89,92 +105,202 @@ type Result struct {
 	Profile  *Profile
 }
 
-// pinst is a predecoded instruction. Everything the hot loop needs per
-// step is resolved here once: register numbers as direct indices, the
-// immediate in both sign- and op-specific form, the absolute target of
-// static control transfers, the cycle-model cost of the instruction's
-// class, and — when profiling — the indices of this site's edge-counter
-// slots (-1 otherwise, so the hot loop needs no separate profiling test).
+// pinst is both a predecoded instruction and a translated superop — the
+// two share one struct so a single backing array can hold the decoded
+// text in its first half and the superop runs appended behind it.
+//
+// As a predecoded instruction (Machine.code), everything the interpreter
+// needs per step is resolved once: register numbers as direct indices,
+// the immediate in both sign- and op-specific form, the absolute target
+// of static control transfers, the cycle-model cost of the instruction's
+// class, the indices of this site's edge-counter slots (-1 when not
+// profiling), and tix, the lazily-filled index of the translated block
+// starting here (-1 until first execution).
+//
+// As a superop (Machine.fops), op may also hold one of the fused tags
+// from translate.go, sub/x/y/z carry the extra operands fused patterns
+// need, and idx is the text index of the first constituent instruction —
+// the anchor for fault PCs and step rewinds. cost is not read on the
+// superop path: block translation precomputes the whole block's cost.
 type pinst struct {
 	op         mips.Op
 	rd, rs, rt uint8
-	imm        int32  // raw signed immediate (SLTI compare)
+	sub        uint8  // fused ops: pattern variant / condition code / ALU op
+	x, y, z    uint8  // fused ops: extra register operands
+	imm        int32  // raw signed immediate (SLTI compare, fused second imm)
 	immU       uint32 // op-specific operand: sign- or zero-extended, or LUI-shifted
 	target     uint32 // absolute taken target for branches, J, JAL
-	cost       uint64 // predecoded cycle cost (branches resolve taken/not at run time)
 	edge       int32  // static-target edge slot (branch/J/JAL), -1 if none
 	jr         int32  // dynamic-target site (JR/JALR), -1 if none
+	tix        int32  // code[] only: translated-block index, -1 untranslated
+	idx        int32  // fops[] only: text index of the first constituent
+	cost       uint64 // predecoded cycle cost (branches resolve taken/not at run time)
+}
+
+// edgeSite is one static-target control-transfer site's profile slot.
+type edgeSite struct {
+	from, to uint32
+	n        uint64
+}
+
+// jrSite is one dynamic-target (JR/JALR) site's profile slot; targets is
+// allocated on first taken transfer.
+type jrSite struct {
+	from    uint32
+	targets map[uint32]uint64
 }
 
 // Machine is a MIPS machine instance. Create with New, execute with Run.
 type Machine struct {
-	cfg      Config
-	cm       CycleModel // cfg.Cycles with the default applied
-	img      *binimg.Image
-	code     []pinst
-	blockEnd []int32 // text index -> index of the block-terminating instruction
-	Regs     [32]uint32
-	HI       uint32
-	LO       uint32
-	PC       uint32
-	mem      binimg.Mem
+	cfg  Config
+	cm   CycleModel // cfg.Cycles with the default applied
+	img  *binimg.Image
+	code []pinst
+	Regs [32]uint32
+	HI   uint32
+	LO   uint32
+	PC   uint32
+	mem  binimg.Mem
+
+	// Threaded-code translation state. back is the shared backing array
+	// for code and fops (kept across pooled reuse), tblocks is the
+	// per-entry-point translation cache indexed by pinst.tix, and
+	// lastSteps records the final step count of the run for FusionStats
+	// coverage.
+	back      []pinst
+	fops      []pinst
+	tblocks   []tblock
+	lastSteps uint64
 
 	// Dense profile counters, allocated only when cfg.Profile is set.
-	// instCount is indexed by text position; edge counters live in flat
-	// slots handed out per control-transfer site at predecode time, with
-	// JR/JALR sites owning a small per-site target map since their
-	// targets are dynamic. buildProfile converts all of this back to the
-	// map-shaped Profile at run end.
+	// instCount is indexed by text position; control-transfer sites own
+	// flat slots handed out at predecode time (exact-counted, so the
+	// slices never grow). The threaded engine does not touch instCount in
+	// its hot loop — buildProfile overlays per-block execution counters
+	// onto it before converting everything to the map-shaped Profile.
 	instCount []uint64
-	edgeCount []uint64
-	edgeFrom  []uint32
-	edgeTo    []uint32
-	jrFrom    []uint32
-	jrEdges   []map[uint32]uint64
+	edges     []edgeSite
+	jrs       []jrSite
 }
 
 // New loads an image into a fresh machine.
 func New(img *binimg.Image, cfg Config) (*Machine, error) {
-	m := &Machine{cfg: cfg, img: img}
+	m := &Machine{}
+	if err := m.init(img, cfg); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// init (re)initializes a machine for img and cfg. On a pooled machine it
+// reuses the pinst backing, translation cache, and profile-slot buffers
+// when they are large enough; every retained buffer is either fully
+// rewritten (code, appended slices) or explicitly cleared (instCount).
+func (m *Machine) init(img *binimg.Image, cfg Config) error {
+	m.cfg, m.img = cfg, img
 	m.cm = cfg.Cycles
 	if m.cm == (CycleModel{}) {
 		m.cm = DefaultCycleModel
 	}
-	if cfg.Profile {
-		m.instCount = make([]uint64, len(img.Text))
+	m.Regs = [32]uint32{}
+	m.HI, m.LO, m.PC = 0, 0, 0
+	m.mem.Reset() // keeps allocated pages for pooled reuse
+	m.lastSteps = 0
+	n := len(img.Text)
+	// One backing array for the decoded text and the superop runs the
+	// translator appends behind it. Translations are per entry point and
+	// fusion shrinks them, so n extra records cover typical programs;
+	// overflow just reallocates fops.
+	if cap(m.back) < 2*n+1 {
+		m.back = make([]pinst, 2*n+1)
 	}
-	m.code = make([]pinst, len(img.Text))
+	m.code = m.back[:n:n]
+	m.fops = m.back[n:n]
 	for i, w := range img.Text {
 		in, err := mips.Decode(w)
 		if err != nil {
-			return nil, fmt.Errorf("sim: text word %d: %w", i, err)
+			return fmt.Errorf("sim: text word %d: %w", i, err)
 		}
-		m.code[i] = m.predecode(in, img.TextBase+uint32(4*i))
+		m.code[i] = predecode(in, img.TextBase+uint32(4*i), m.cm)
 	}
-	m.blockEnd = make([]int32, len(m.code))
-	end := int32(len(m.code)) - 1
-	for i := len(m.code) - 1; i >= 0; i-- {
-		switch m.code[i].op {
-		case mips.BEQ, mips.BNE, mips.BLEZ, mips.BGTZ, mips.BLTZ, mips.BGEZ,
-			mips.J, mips.JAL, mips.JR, mips.JALR, mips.BREAK:
-			end = int32(i)
+	// Count control-transfer sites: block terminators bound the
+	// translation cache (plus static targets, which may enter runs
+	// mid-way), and when profiling, the edge-slot slices are allocated
+	// exactly once at their final size.
+	terms, statics, branches, jrsites := 0, 0, 0, 0
+	for i := range m.code {
+		op := m.code[i].op
+		if op.EndsBlock() {
+			terms++
 		}
-		m.blockEnd[i] = end
+		switch {
+		case op.IsCondBranch(), op == mips.J, op == mips.JAL:
+			statics++
+			branches++
+		case op == mips.JR, op == mips.JALR:
+			jrsites++
+		}
+	}
+	tcap := terms + statics + 1
+	if tcap > n {
+		tcap = n
+	}
+	if cap(m.tblocks) < tcap {
+		m.tblocks = make([]tblock, 0, tcap)
+	} else {
+		m.tblocks = m.tblocks[:0]
+	}
+	if !cfg.Profile {
+		m.instCount, m.edges, m.jrs = nil, nil, nil
+	} else {
+		if cap(m.instCount) >= n {
+			m.instCount = m.instCount[:n]
+			clear(m.instCount)
+		} else {
+			m.instCount = make([]uint64, n)
+		}
+		if branches > 0 {
+			if cap(m.edges) >= branches {
+				m.edges = m.edges[:0]
+			} else {
+				m.edges = make([]edgeSite, 0, branches)
+			}
+		} else {
+			m.edges = nil
+		}
+		if jrsites > 0 {
+			m.jrs = make([]jrSite, 0, jrsites)
+		} else {
+			m.jrs = nil
+		}
+		for i := range m.code {
+			p := &m.code[i]
+			pc := img.TextBase + uint32(4*i)
+			switch {
+			case p.op.IsCondBranch(), p.op == mips.J, p.op == mips.JAL:
+				p.edge = int32(len(m.edges))
+				m.edges = append(m.edges, edgeSite{from: pc, to: p.target})
+			case p.op == mips.JR, p.op == mips.JALR:
+				p.jr = int32(len(m.jrs))
+				m.jrs = append(m.jrs, jrSite{from: pc})
+			}
+		}
 	}
 	m.mem.WriteBytes(img.DataBase, img.Data)
 	m.PC = img.Entry
 	m.Regs[mips.SP] = cfg.StackTop
-	return m, nil
+	return nil
 }
 
 // predecode resolves one instruction at address pc into its hot-loop
-// record and, when profiling, allocates the site's edge-counter slot.
-func (m *Machine) predecode(in mips.Inst, pc uint32) pinst {
+// record. Edge-counter slots are assigned in a separate pass by New so
+// their slices can be allocated at exact size.
+func predecode(in mips.Inst, pc uint32, cm CycleModel) pinst {
 	p := pinst{
 		op: in.Op,
 		rd: uint8(in.Rd), rs: uint8(in.Rs), rt: uint8(in.Rt),
 		imm: in.Imm, immU: uint32(in.Imm),
-		edge: -1, jr: -1,
+		edge: -1, jr: -1, tix: -1, idx: -1,
 	}
 	switch in.Op {
 	case mips.ANDI, mips.ORI, mips.XORI:
@@ -184,19 +310,19 @@ func (m *Machine) predecode(in mips.Inst, pc uint32) pinst {
 	}
 	switch in.Op.Cost() {
 	case mips.CostLoad:
-		p.cost = m.cm.Load
+		p.cost = cm.Load
 	case mips.CostStore:
-		p.cost = m.cm.Store
+		p.cost = cm.Store
 	case mips.CostJump:
-		p.cost = m.cm.Jump
+		p.cost = cm.Jump
 	case mips.CostMult:
-		p.cost = m.cm.Mult
+		p.cost = cm.Mult
 	case mips.CostDiv:
-		p.cost = m.cm.Div
+		p.cost = cm.Div
 	case mips.CostBranch:
 		// taken/not-taken resolved in the hot loop
 	default:
-		p.cost = m.cm.ALU
+		p.cost = cm.ALU
 	}
 	switch {
 	case in.IsBranch():
@@ -204,27 +330,39 @@ func (m *Machine) predecode(in mips.Inst, pc uint32) pinst {
 	case in.Op == mips.J || in.Op == mips.JAL:
 		p.target = in.Target
 	}
-	if m.instCount != nil {
-		switch {
-		case in.IsBranch(), in.Op == mips.J, in.Op == mips.JAL:
-			p.edge = int32(len(m.edgeFrom))
-			m.edgeFrom = append(m.edgeFrom, pc)
-			m.edgeTo = append(m.edgeTo, p.target)
-			m.edgeCount = append(m.edgeCount, 0)
-		case in.Op == mips.JR, in.Op == mips.JALR:
-			p.jr = int32(len(m.jrFrom))
-			m.jrFrom = append(m.jrFrom, pc)
-			m.jrEdges = append(m.jrEdges, nil)
-		}
-	}
 	return p
 }
 
+// blockTermIndex returns the text index of the basic-block terminator at
+// or after entry: the first control transfer or BREAK, or the last text
+// index when the block runs off the end of text (executing past it then
+// faults at the loop top exactly like the reference).
+func (m *Machine) blockTermIndex(entry int32) int32 {
+	last := int32(len(m.code)) - 1
+	end := entry
+	for end < last && !m.code[end].op.EndsBlock() {
+		end++
+	}
+	return end
+}
+
 // buildProfile converts the dense counters back to the map-shaped
-// Profile consumed by the partitioner and cycle attribution.
+// Profile consumed by the partitioner and cycle attribution. Per-block
+// execution counters from the threaded engine are overlaid first: each
+// completed execution of a translation retired every constituent in its
+// text range exactly once.
 func (m *Machine) buildProfile() *Profile {
 	if m.instCount == nil {
 		return nil
+	}
+	for bi := range m.tblocks {
+		blk := &m.tblocks[bi]
+		if blk.exec == 0 {
+			continue
+		}
+		for j := blk.start; j <= blk.end; j++ {
+			m.instCount[j] += blk.exec
+		}
 	}
 	nInst, nEdge := 0, 0
 	for _, c := range m.instCount {
@@ -232,8 +370,8 @@ func (m *Machine) buildProfile() *Profile {
 			nInst++
 		}
 	}
-	for _, c := range m.edgeCount {
-		if c != 0 {
+	for i := range m.edges {
+		if m.edges[i].n != 0 {
 			nEdge++
 		}
 	}
@@ -247,14 +385,14 @@ func (m *Machine) buildProfile() *Profile {
 			p.InstCount[tb+uint32(4*i)] = c
 		}
 	}
-	for s, c := range m.edgeCount {
-		if c != 0 {
-			p.EdgeCount[Edge{From: m.edgeFrom[s], To: m.edgeTo[s]}] += c
+	for i := range m.edges {
+		if e := &m.edges[i]; e.n != 0 {
+			p.EdgeCount[Edge{From: e.from, To: e.to}] += e.n
 		}
 	}
-	for s, targets := range m.jrEdges {
-		for to, c := range targets {
-			p.EdgeCount[Edge{From: m.jrFrom[s], To: to}] += c
+	for i := range m.jrs {
+		for to, c := range m.jrs[i].targets {
+			p.EdgeCount[Edge{From: m.jrs[i].from, To: to}] += c
 		}
 	}
 	return p
@@ -292,11 +430,17 @@ func storeFault(addr uint32, width int) error {
 // instruction and the partial step/cycle counts are reported.
 func (m *Machine) fail(res *Result, steps, cycles uint64, pc uint32, err error) (Result, error) {
 	m.PC = pc
+	m.lastSteps = steps
 	res.Steps, res.Cycles = steps, cycles
 	return *res, err
 }
 
-// Run executes until BREAK, an error, or the step limit.
+// runInterp executes from pc with the given step/cycle state already
+// accumulated, until BREAK, an error, or the step limit. It is the
+// per-instruction tail of the threaded engine: Machine.Run delegates here
+// when the remaining step budget cannot cover the next whole block, so
+// truncation lands on exactly the instruction the reference stepper
+// would report.
 //
 // The outer loop walks basic blocks: it validates the entry PC and the
 // step budget once, then the inner loop retires straight-line
@@ -304,7 +448,7 @@ func (m *Machine) fail(res *Result, steps, cycles uint64, pc uint32, err error) 
 // or limit checks. Register writes are branch-free — the destination is
 // always written and $zero is re-zeroed — which is observably identical
 // to skipping writes to register 0.
-func (m *Machine) Run() (Result, error) {
+func (m *Machine) runInterp(pc uint32, steps, cycles uint64) (Result, error) {
 	var res Result
 	maxSteps := m.cfg.MaxSteps
 	if maxSteps == 0 {
@@ -312,14 +456,11 @@ func (m *Machine) Run() (Result, error) {
 	}
 	cm := m.cm
 	code := m.code
-	blockEnd := m.blockEnd
 	regs := &m.Regs
 	textBase := m.img.TextBase
 	textEnd := m.img.TextEnd()
 	instCount := m.instCount
 	profile := instCount != nil
-	pc := m.PC
-	var steps, cycles uint64
 
 outer:
 	for {
@@ -332,7 +473,7 @@ outer:
 				fmt.Errorf("sim: PC 0x%x outside text", pc))
 		}
 		idx := int32((pc - textBase) >> 2)
-		end := blockEnd[idx]
+		end := m.blockTermIndex(idx)
 		limit := end
 		if n := uint64(end-idx) + 1; steps+n > maxSteps {
 			// Run only the remaining budget; the loop top then reports
@@ -352,6 +493,7 @@ outer:
 			case mips.BREAK:
 				cycles += in.cost
 				m.PC = textBase + uint32(4*i)
+				m.lastSteps = steps
 				res.Steps, res.Cycles = steps, cycles
 				res.ExitCode = int32(regs[mips.V0])
 				res.Profile = m.buildProfile()
@@ -548,7 +690,7 @@ outer:
 				if regs[in.rs&31] == regs[in.rt&31] {
 					cycles += cm.BranchTaken
 					if in.edge >= 0 {
-						m.edgeCount[in.edge]++
+						m.edges[in.edge].n++
 					}
 					pc = in.target
 					continue outer
@@ -558,7 +700,7 @@ outer:
 				if regs[in.rs&31] != regs[in.rt&31] {
 					cycles += cm.BranchTaken
 					if in.edge >= 0 {
-						m.edgeCount[in.edge]++
+						m.edges[in.edge].n++
 					}
 					pc = in.target
 					continue outer
@@ -568,7 +710,7 @@ outer:
 				if int32(regs[in.rs&31]) <= 0 {
 					cycles += cm.BranchTaken
 					if in.edge >= 0 {
-						m.edgeCount[in.edge]++
+						m.edges[in.edge].n++
 					}
 					pc = in.target
 					continue outer
@@ -578,7 +720,7 @@ outer:
 				if int32(regs[in.rs&31]) > 0 {
 					cycles += cm.BranchTaken
 					if in.edge >= 0 {
-						m.edgeCount[in.edge]++
+						m.edges[in.edge].n++
 					}
 					pc = in.target
 					continue outer
@@ -588,7 +730,7 @@ outer:
 				if int32(regs[in.rs&31]) < 0 {
 					cycles += cm.BranchTaken
 					if in.edge >= 0 {
-						m.edgeCount[in.edge]++
+						m.edges[in.edge].n++
 					}
 					pc = in.target
 					continue outer
@@ -598,7 +740,7 @@ outer:
 				if int32(regs[in.rs&31]) >= 0 {
 					cycles += cm.BranchTaken
 					if in.edge >= 0 {
-						m.edgeCount[in.edge]++
+						m.edges[in.edge].n++
 					}
 					pc = in.target
 					continue outer
@@ -607,7 +749,7 @@ outer:
 			case mips.J:
 				cycles += in.cost
 				if in.edge >= 0 {
-					m.edgeCount[in.edge]++
+					m.edges[in.edge].n++
 				}
 				pc = in.target
 				continue outer
@@ -615,7 +757,7 @@ outer:
 				regs[mips.RA] = textBase + uint32(4*i) + 4
 				cycles += in.cost
 				if in.edge >= 0 {
-					m.edgeCount[in.edge]++
+					m.edges[in.edge].n++
 				}
 				pc = in.target
 				continue outer
@@ -660,12 +802,11 @@ outer:
 
 // recordDynEdge counts one taken dynamic-target transfer (JR/JALR).
 func (m *Machine) recordDynEdge(site int32, to uint32) {
-	targets := m.jrEdges[site]
-	if targets == nil {
-		targets = make(map[uint32]uint64)
-		m.jrEdges[site] = targets
+	s := &m.jrs[site]
+	if s.targets == nil {
+		s.targets = make(map[uint32]uint64)
 	}
-	targets[to]++
+	s.targets[to]++
 }
 
 func b2u(b bool) uint32 {
@@ -675,11 +816,47 @@ func b2u(b bool) uint32 {
 	return 0
 }
 
-// Execute is a convenience wrapper: load img and run with cfg.
+// machinePool recycles Machines between Execute calls. The predecoded
+// text, superop runs, translation cache, and profile slots dominate
+// per-run allocation, and init fully rewrites or clears every retained
+// buffer, so pooled reuse is invisible to results. Memory pages are not
+// retained (each run starts from a fresh sparse Mem).
+var machinePool sync.Pool
+
+// acquire returns a Machine initialized for img/cfg, reusing a pooled
+// machine's buffers when they are large enough.
+func acquire(img *binimg.Image, cfg Config) (*Machine, error) {
+	m, _ := machinePool.Get().(*Machine)
+	if m == nil {
+		m = &Machine{}
+	}
+	if err := m.init(img, cfg); err != nil {
+		machinePool.Put(m)
+		return nil, err
+	}
+	return m, nil
+}
+
+// release returns a Machine to the pool. The caller must be completely
+// done with it: the next acquire rewrites every buffer.
+func release(m *Machine) {
+	machinePool.Put(m)
+}
+
+// Execute is a convenience wrapper: load img and run with cfg, dispatching
+// on cfg.Engine. EngineReference runs the preserved per-instruction
+// stepper; EngineBlock and EngineFused run the threaded-code engine.
+// Nothing in the returned Result aliases machine state, so Execute runs
+// on pooled machines.
 func Execute(img *binimg.Image, cfg Config) (Result, error) {
-	m, err := New(img, cfg)
+	if cfg.Engine == EngineReference {
+		return ExecuteReference(img, cfg)
+	}
+	m, err := acquire(img, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return m.Run()
+	res, rerr := m.Run()
+	release(m)
+	return res, rerr
 }
