@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench experiments obs-smoke corpus-smoke engine-smoke
+.PHONY: build test race vet check bench experiments obs-smoke corpus-smoke engine-smoke distcache-smoke
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,16 @@ engine-smoke:
 	$(GO) run ./cmd/experiments -engines -j 8 \
 		-fusion-out /tmp/binpart-engines.json >/dev/null
 
-check: vet build test race obs-smoke corpus-smoke engine-smoke
+# The distributed-cache path end to end over real processes: one shard
+# server plus two sharded workers over localhost, cold cache, then the
+# launcher's final sweep served from the shared cache. Exits nonzero if
+# the distributed T1 table differs by a byte from a serial run, if the
+# final sweep saw no remote hits, or if the server dies without printing
+# its per-tier counters. Artifacts land in /tmp/binpart-distcache.
+distcache-smoke:
+	sh scripts/distcache-smoke.sh
+
+check: vet build test race obs-smoke corpus-smoke engine-smoke distcache-smoke
 
 # Runs every benchmark and distills the results (per-stage ns/op plus the
 # T1 headline custom metrics) into BENCH.json via cmd/benchjson. The text

@@ -36,6 +36,7 @@ import (
 	"sync"
 
 	"binpart/internal/binimg"
+	"binpart/internal/cache"
 	"binpart/internal/core"
 	"binpart/internal/fpga"
 	"binpart/internal/obs"
@@ -55,6 +56,8 @@ func main() {
 	vhdlDir := flag.String("vhdl", "", "directory to write VHDL for selected regions")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size when partitioning several binaries")
 	cacheDir := flag.String("cachedir", "", "directory for the on-disk stage cache (empty: memory only)")
+	cacheDirMax := flag.String("cachedir-max", "", "byte budget for -cachedir (e.g. 256M); oldest-mtime blobs are evicted past it (empty: unbounded)")
+	remoteCache := flag.String("remote-cache", "", "comma-separated cache-server addresses to share the stage cache with")
 	stats := flag.Bool("stats", false, "print per-stage span and cache counters to stderr")
 	cacheStats := flag.Bool("cachestats", false, "alias for -stats (the old cache-only counters)")
 	trace := flag.String("trace", "", "stream per-stage spans to this file as JSONL")
@@ -111,9 +114,29 @@ func main() {
 
 	caches := core.NewCaches()
 	if *cacheDir != "" {
-		if _, err := caches.WithDisk(*cacheDir); err != nil {
+		var maxBytes int64
+		if *cacheDirMax != "" {
+			maxBytes, err = cache.ParseByteSize(*cacheDirMax)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if _, err := caches.WithDiskMax(*cacheDir, maxBytes); err != nil {
 			fatal(err)
 		}
+	}
+	if *remoteCache != "" {
+		rt, err := cache.NewRemoteTier(strings.Split(*remoteCache, ","), cache.RemoteConfig{})
+		if err == nil {
+			err = rt.Ping()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		// The Analysis crosses the wire without candidate Designs, so it
+		// is only shared when this run does not emit VHDL.
+		caches.WithRemote(rt, *vhdlDir == "")
+		defer rt.Close()
 	}
 
 	// A recorder only when some surface will read it; nil keeps the flow

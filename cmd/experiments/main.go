@@ -13,7 +13,14 @@
 //	experiments -engine reference  # run every sweep on one engine
 //	experiments -fusion-out f.json # write the engine ablation stats artifact
 //	experiments -j 8         # fan sweep points over 8 workers
-//	experiments -cachedir d  # persist the compile cache under d
+//	experiments -cachedir d  # persist the stage cache under d
+//	experiments -cachedir d -cachedir-max 256M  # bound it (oldest-mtime eviction)
+//	experiments -cache-serve :9736 # run a shared cache server (shard of a cluster)
+//	experiments -cache-addr-file f # also write the server's bound address to f
+//	experiments -remote-cache host:9736[,host2:9736]  # share the stage cache with peers
+//	experiments -dist 4 -remote-cache host:9736       # fan the sweep over 4 worker
+//	                                                  # processes sharing one cache,
+//	                                                  # then render from the warm cache
 //	experiments -trace t.jsonl     # stream per-stage spans as JSONL
 //	experiments -stats             # per-stage span + cache tables to stderr
 //	experiments -manifest m.json   # write the run manifest (config, git, totals)
@@ -28,12 +35,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"syscall"
 
+	"binpart/internal/cache"
 	"binpart/internal/core"
 	"binpart/internal/exper"
 	"binpart/internal/obs"
@@ -53,6 +66,12 @@ func main() {
 	fusionOut := flag.String("fusion-out", "", "write the engine ablation (wall times, fusion counters) to this JSON file")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size for experiment sweeps")
 	cacheDir := flag.String("cachedir", "", "directory for the on-disk stage cache (empty: memory only)")
+	cacheDirMax := flag.String("cachedir-max", "", "byte budget for -cachedir (e.g. 256M); oldest-mtime blobs are evicted past it (empty: unbounded)")
+	cacheServe := flag.String("cache-serve", "", "run as a shared cache server on this address (e.g. :9736 or 127.0.0.1:0) instead of running experiments")
+	cacheAddrFile := flag.String("cache-addr-file", "", "with -cache-serve, also write the bound address to this file (for :0 ports)")
+	remoteCache := flag.String("remote-cache", "", "comma-separated cache-server addresses to share the stage cache with (keys are consistent-hash sharded across them)")
+	dist := flag.Int("dist", 0, "fan the sweep over N worker processes sharing -remote-cache, then render from the warm cache")
+	distShard := flag.String("dist-shard", "", "internal: run as shard k/N of a distributed sweep (set by -dist)")
 	stats := flag.Bool("stats", false, "print per-stage span and cache counters to stderr")
 	cacheStats := flag.Bool("cachestats", false, "alias for -stats (the old cache-only counters)")
 	trace := flag.String("trace", "", "stream per-stage spans to this file as JSONL")
@@ -62,6 +81,45 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	parseMax := func() int64 {
+		if *cacheDirMax == "" {
+			return 0
+		}
+		n, err := cache.ParseByteSize(*cacheDirMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return n
+	}
+
+	// Server mode: serve the shared cache protocol until interrupted,
+	// then print the per-tier counters and exit cleanly.
+	if *cacheServe != "" {
+		srv, err := cache.ListenAndServe(*cacheServe, cache.ServerConfig{
+			Dir:         *cacheDir,
+			DirMaxBytes: parseMax(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cache server listening on %s\n", srv.Addr())
+		if *cacheAddrFile != "" {
+			if err := os.WriteFile(*cacheAddrFile, []byte(srv.Addr()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		stats, _ := json.Marshal(srv.Stats())
+		fmt.Fprintf(os.Stderr, "cache server stats: %s\n", stats)
+		srv.Close()
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -95,10 +153,26 @@ func main() {
 	if *noCache {
 		caches = nil
 	} else if *cacheDir != "" {
-		if _, err := caches.WithDisk(*cacheDir); err != nil {
+		if _, err := caches.WithDiskMax(*cacheDir, parseMax()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	var remote *cache.RemoteTier
+	if *remoteCache != "" && caches != nil {
+		rt, err := cache.NewRemoteTier(strings.Split(*remoteCache, ","), cache.RemoteConfig{})
+		if err == nil {
+			err = rt.Ping()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Sweeps never emit VHDL, so the Analysis stage is shared too —
+		// that is what makes a distributed sweep's re-run run warm.
+		caches.WithRemote(rt, true)
+		remote = rt
+		defer rt.Close()
 	}
 
 	// The recorder exists only when some surface will read it; a nil
@@ -134,6 +208,29 @@ func main() {
 		os.Exit(1)
 	}
 	runner.Engine = eng
+
+	if *distShard != "" {
+		var k, m int
+		if _, err := fmt.Sscanf(*distShard, "%d/%d", &k, &m); err != nil || m < 1 || k < 0 || k >= m {
+			fmt.Fprintf(os.Stderr, "bad -dist-shard %q (want k/N)\n", *distShard)
+			os.Exit(1)
+		}
+		runner.ShardIndex, runner.ShardCount = k, m
+	}
+	if *dist > 1 {
+		if *remoteCache == "" {
+			fmt.Fprintln(os.Stderr, "-dist needs -remote-cache: the workers converge on the shared server")
+			os.Exit(1)
+		}
+		if err := distFanOut(*dist); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Fall through: the workers warmed the shared cache; this process
+		// now runs the full sweep served from it and renders the
+		// canonical output (byte-identical to a serial run by
+		// construction, since rendering never depends on who computed).
+	}
 
 	all := *table == 0 && *figure == 0 && !*ablation && !*extension && *corpusN == 0 && !*engines
 	run := func(name string, f func() (fmt.Stringer, error)) {
@@ -215,6 +312,12 @@ func main() {
 	if *stats || *cacheStats {
 		fmt.Fprint(os.Stderr, rec.Table())
 		fmt.Fprint(os.Stderr, caches.StatsString())
+		if remote != nil {
+			if ps, err := remote.StatsFromPeers(); err == nil {
+				data, _ := json.Marshal(ps)
+				fmt.Fprintf(os.Stderr, "remote peers: %s (transport errors: %d)\n", data, remote.Errs())
+			}
+		}
 	}
 	if traceFile != nil {
 		if err := rec.Flush(); err != nil {
@@ -233,6 +336,50 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// distFanOut launches n sharded copies of this binary, each owning a
+// 1/n slice of every requested sweep, and waits for them all. The
+// workers exist to warm the shared remote cache: their stdout is
+// discarded (the parent renders the canonical output afterwards) and
+// output-only flags are stripped from their command lines.
+func distFanOut(n int) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	// Flags the children must not inherit: orchestration (re-fanning out
+	// would fork-bomb) and output artifacts (the parent owns those).
+	drop := map[string]bool{
+		"dist": true, "dist-shard": true,
+		"manifest": true, "trace": true, "stats": true, "cachestats": true,
+		"debug-addr": true, "corpus-out": true, "fusion-out": true,
+		"cpuprofile": true, "memprofile": true,
+		"cache-serve": true, "cache-addr-file": true,
+	}
+	var base []string
+	flag.Visit(func(f *flag.Flag) {
+		if !drop[f.Name] {
+			base = append(base, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	procs := make([]*exec.Cmd, n)
+	for k := 0; k < n; k++ {
+		args := append(append([]string{}, base...), fmt.Sprintf("-dist-shard=%d/%d", k, n))
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("dist worker %d/%d: %w", k, n, err)
+		}
+		procs[k] = cmd
+	}
+	var firstErr error
+	for k, cmd := range procs {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dist worker %d/%d: %w", k, n, err)
+		}
+	}
+	return firstErr
 }
 
 // formatter adapts the exper result types to fmt.Stringer.

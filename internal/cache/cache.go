@@ -9,8 +9,10 @@
 //
 // A Cache is a bounded in-memory LRU with per-key in-flight coalescing
 // (concurrent GetOrCompute calls for the same key compute once), hit /
-// miss / eviction counters, and an optional write-through disk layer for
-// values that have a byte codec. Invalidation is purely structural: a key
+// miss / eviction counters, and an optional chain of backing tiers —
+// disk, a remote cache server, anything implementing Tier — for values
+// that have a byte codec (see tier.go; serialized blobs carry a
+// checksum header, see blob.go). Invalidation is purely structural: a key
 // covers every byte of stage input, so changing any input byte produces a
 // different key and the stale entry simply ages out of the LRU.
 package cache
@@ -121,22 +123,28 @@ func (h *Hasher) Sum() Key {
 	return k
 }
 
-// Stats is a point-in-time counter snapshot.
+// Stats is a point-in-time counter snapshot. The aggregate Hits counter
+// includes every served lookup regardless of tier, so per-tier
+// accounting reconciles exactly: Hits = memory hits + Waits + DiskHits
+// + RemoteHits + RemoteWaits, and Hits + Misses = total lookups
+// (Misses already includes Corrupt recomputes).
 type Stats struct {
-	Hits      uint64 `json:"hits"`    // memory hits, including disk hits and coalesced in-flight waits
-	Misses    uint64 `json:"misses"`  // full computes, including recomputes after a corrupt blob
-	Evictions uint64 `json:"evict"`   // LRU entries dropped at capacity
-	DiskHits  uint64 `json:"disk"`    // misses served from the disk layer
-	Waits     uint64 `json:"waits"`   // GetOrCompute calls that blocked on another caller's in-flight compute
-	Corrupt   uint64 `json:"corrupt"` // disk blobs that failed to decode (deleted, treated as misses)
-	Entries   int    `json:"entries"` // current in-memory entry count
+	Hits        uint64 `json:"hits"`    // served lookups across every tier, including waits
+	Misses      uint64 `json:"misses"`  // full computes, including recomputes after a corrupt blob
+	Evictions   uint64 `json:"evict"`   // LRU entries dropped at capacity
+	DiskHits    uint64 `json:"disk"`    // misses served from the disk tier
+	RemoteHits  uint64 `json:"remote"`  // misses served from the remote peer tier
+	RemoteWaits uint64 `json:"rwait"`   // cross-process claim losses served by the winner's Put
+	Waits       uint64 `json:"waits"`   // GetOrCompute calls that blocked on another caller's in-flight compute
+	Corrupt     uint64 `json:"corrupt"` // tier blobs that failed checksum or decode (deleted, treated as misses)
+	Entries     int    `json:"entries"` // current in-memory entry count
 }
 
 // Outcome classifies how one cache lookup was served. It is the per-call
 // counterpart of the aggregate Stats counters: observability spans record
 // an Outcome per stage execution, and summing span outcomes per stage
-// reconciles with the stage cache's Stats (hits = hit + wait + disk,
-// misses = miss + corrupt).
+// reconciles with the stage cache's Stats (hits = hit + wait + disk +
+// remote + remote-wait, misses = miss + corrupt).
 type Outcome uint8
 
 const (
@@ -152,9 +160,16 @@ const (
 	OutcomeWait
 	// OutcomeDisk is a memory miss served from the disk layer.
 	OutcomeDisk
-	// OutcomeCorrupt is a disk blob that failed to decode: the file was
-	// deleted and the value recomputed (a miss in Stats, plus Corrupt).
+	// OutcomeCorrupt is a tier blob that failed checksum or decode: the
+	// blob was deleted and the value recomputed (a miss in Stats, plus
+	// Corrupt).
 	OutcomeCorrupt
+	// OutcomeRemote is a memory miss served by the remote peer tier.
+	OutcomeRemote
+	// OutcomeRemoteWait is a lost cross-process claim race: another
+	// process computed the value and this call received its Put (a hit
+	// in Stats, plus RemoteWaits).
+	OutcomeRemoteWait
 )
 
 func (o Outcome) String() string {
@@ -169,6 +184,10 @@ func (o Outcome) String() string {
 		return "disk"
 	case OutcomeCorrupt:
 		return "corrupt"
+	case OutcomeRemote:
+		return "remote"
+	case OutcomeRemoteWait:
+		return "rwait"
 	}
 	return ""
 }
@@ -208,14 +227,19 @@ type Cache[V any] struct {
 	// correctness does not.
 	pending chan Key
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
-	diskHits  atomic.Uint64
-	waits     atomic.Uint64
-	corrupt   atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	diskHits    atomic.Uint64
+	remoteHits  atomic.Uint64
+	remoteWaits atomic.Uint64
+	waits       atomic.Uint64
+	corrupt     atomic.Uint64
 
-	disk  *DiskStore
+	// tiers are the backing blob layers below the typed memory LRU, in
+	// probe order (typically disk then remote). Set once during wiring,
+	// before concurrent use; the codec serializes values for them.
+	tiers []Tier
 	codec *Codec[V]
 }
 
@@ -233,35 +257,81 @@ func New[V any](capacity int) *Cache[V] {
 	}
 }
 
-// WithDisk attaches a write-through disk layer: Put persists entries via
+// WithDisk attaches a write-through disk tier: Put persists entries via
 // the codec, and a memory miss consults the store before recomputing.
 func (c *Cache[V]) WithDisk(d *DiskStore, codec Codec[V]) *Cache[V] {
-	if c == nil || d == nil {
+	if d == nil {
+		return c
+	}
+	return c.WithTiers(codec, d)
+}
+
+// WithTiers appends backing tiers in probe order (shallow first, e.g.
+// disk then remote) and sets the byte codec that serializes values for
+// them. Call during wiring, before the cache sees concurrent use;
+// repeated calls append and must pass the same codec.
+func (c *Cache[V]) WithTiers(codec Codec[V], tiers ...Tier) *Cache[V] {
+	if c == nil || len(tiers) == 0 {
 		return c
 	}
 	c.mu.Lock()
-	c.disk = d
 	c.codec = &codec
+	c.tiers = append(c.tiers, tiers...)
 	c.mu.Unlock()
 	return c
 }
 
-// Get returns the cached value for k.
+// Get returns the cached value for k, consulting memory then every
+// backing tier (without taking a cross-process claim). Tier I/O runs
+// outside the cache lock.
 func (c *Cache[V]) Get(k Key) (V, bool) {
+	v, _, ok := c.GetOutcome(k)
+	return v, ok
+}
+
+// GetOutcome is Get reporting which layer served the lookup (OutcomeMiss
+// or OutcomeCorrupt when it missed). Callers that probe, batch the
+// misses elsewhere, and Put the results back — the corpus harness's
+// reference-simulation phase — use it to emit one span per probe, so
+// span totals still reconcile with the cache counters.
+func (c *Cache[V]) GetOutcome(k Key) (V, Outcome, bool) {
 	var zero V
 	if c == nil {
-		return zero, false
+		return zero, OutcomeNone, false
 	}
 	if v, ok := c.fastGet(k); ok {
-		return v, true
+		return v, OutcomeHit, true
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if v, _, ok := c.lookupLocked(k); ok {
-		return v, true
+	v, ok := c.memLocked(k)
+	c.mu.Unlock()
+	if ok {
+		return v, OutcomeHit, true
+	}
+	sawCorrupt := false
+	for _, t := range c.tiers {
+		blob, ok := t.Get(k)
+		if !ok {
+			continue
+		}
+		v, ok := c.openBlob(k, t, blob)
+		if !ok {
+			sawCorrupt = true
+			continue // corrupt: counted and deleted, try the next tier
+		}
+		out := t.HitOutcome()
+		c.countServed(out)
+		c.mu.Lock()
+		c.drainPendingLocked()
+		c.insertLocked(k, v)
+		c.mu.Unlock()
+		return v, out, true
 	}
 	c.misses.Add(1)
-	return zero, false
+	if sawCorrupt {
+		return zero, OutcomeCorrupt, false
+	}
+	return zero, OutcomeMiss, false
 }
 
 // fastGet is the contention-free hit path: a read lock, an atomic hit
@@ -301,69 +371,128 @@ func (c *Cache[V]) drainPendingLocked() {
 	}
 }
 
-// lookupLocked checks memory then disk; it records hits but not misses,
-// so callers decide how a miss is counted. The returned Outcome is
-// OutcomeHit or OutcomeDisk when found, and OutcomeMiss or OutcomeCorrupt
-// when not. Callers hold the write lock.
-func (c *Cache[V]) lookupLocked(k Key) (V, Outcome, bool) {
+// memLocked checks the memory layer, recording a hit but never a miss,
+// so callers decide how a miss is counted. Callers hold the write lock.
+func (c *Cache[V]) memLocked(k Key) (V, bool) {
 	c.drainPendingLocked()
 	if e, ok := c.items[k]; ok {
 		c.ll.MoveToFront(e)
 		c.hits.Add(1)
-		return e.Value.(*entry[V]).val, OutcomeHit, true
+		return e.Value.(*entry[V]).val, true
 	}
 	var zero V
-	if c.disk != nil && c.codec != nil {
-		if data, ok := c.disk.Get(k); ok {
-			v, err := c.codec.Unmarshal(data)
-			if err == nil {
-				c.insertLocked(k, v, false)
-				c.hits.Add(1)
-				c.diskHits.Add(1)
-				return v, OutcomeDisk, true
-			}
-			// Corrupt or truncated blob: were it returned, the caller
-			// would fail (or poison the memory layer) on a value the
-			// codec itself rejects. Count it, delete the file so no
-			// later run trips over it, and fall through to a miss — the
-			// recompute rewrites a good blob.
-			c.corrupt.Add(1)
-			c.disk.Delete(k) //nolint:errcheck // best effort, like Put
-			return zero, OutcomeCorrupt, false
+	return zero, false
+}
+
+// openBlob verifies a tier blob's checksum and decodes it. A blob that
+// fails either check would, were it returned, fail the caller (or
+// poison the memory layer) on a value the tier itself cannot vouch for:
+// count it, delete it from the serving tier so no later run trips over
+// it, and let the caller fall through — the recompute rewrites a good
+// blob.
+func (c *Cache[V]) openBlob(k Key, t Tier, blob []byte) (V, bool) {
+	var zero V
+	if c.codec == nil {
+		return zero, false
+	}
+	payload, err := Open(blob)
+	if err == nil {
+		v, derr := c.codec.Unmarshal(payload)
+		if derr == nil {
+			return v, true
 		}
 	}
-	return zero, OutcomeMiss, false
+	c.corrupt.Add(1)
+	t.Delete(k) //nolint:errcheck // best effort, like Put
+	return zero, false
+}
+
+// countServed counts a lookup served by a backing tier.
+func (c *Cache[V]) countServed(out Outcome) {
+	c.hits.Add(1)
+	switch out {
+	case OutcomeDisk:
+		c.diskHits.Add(1)
+	case OutcomeRemote:
+		c.remoteHits.Add(1)
+	case OutcomeRemoteWait:
+		c.remoteWaits.Add(1)
+	}
+}
+
+// seal marshals and seals a value for the backing tiers.
+func (c *Cache[V]) seal(v V) ([]byte, bool) {
+	if c.codec == nil {
+		return nil, false
+	}
+	payload, err := c.codec.Marshal(v)
+	if err != nil {
+		return nil, false
+	}
+	return Seal(payload), true
+}
+
+// writeTiers pushes a sealed blob to every tier except the one that
+// served it (served < 0 after a compute writes all). Best effort, and
+// outside any lock: blobs are content addressed, so a racing double
+// write is benign.
+func (c *Cache[V]) writeTiers(k Key, blob []byte, served int) {
+	for i, t := range c.tiers {
+		if i == served {
+			continue
+		}
+		t.Put(k, blob) //nolint:errcheck // best effort; memory stays primary
+	}
 }
 
 // Put inserts (or refreshes) a value, evicting the least recently used
-// entry when over capacity.
+// entry when over capacity, and writes through to every backing tier.
 func (c *Cache[V]) Put(k Key, v V) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	c.drainPendingLocked()
-	c.insertLocked(k, v, true)
+	c.insertLocked(k, v)
 	c.mu.Unlock()
+	if len(c.tiers) > 0 {
+		if blob, ok := c.seal(v); ok {
+			c.writeTiers(k, blob, -1)
+		}
+	}
 }
 
-func (c *Cache[V]) insertLocked(k Key, v V, writeDisk bool) {
+// Delete removes k from the memory layer and every backing tier.
+func (c *Cache[V]) Delete(k Key) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.drainPendingLocked()
+	if e, ok := c.items[k]; ok {
+		c.ll.Remove(e)
+		delete(c.items, k)
+	}
+	c.mu.Unlock()
+	for _, t := range c.tiers {
+		t.Delete(k) //nolint:errcheck // best effort
+	}
+}
+
+// insertLocked updates the memory layer only; tier write-through happens
+// outside the lock (see Put and fill).
+func (c *Cache[V]) insertLocked(k Key, v V) {
 	if e, ok := c.items[k]; ok {
 		e.Value.(*entry[V]).val = v
 		c.ll.MoveToFront(e)
-	} else {
-		c.items[k] = c.ll.PushFront(&entry[V]{key: k, val: v})
-		for c.ll.Len() > c.capacity {
-			back := c.ll.Back()
-			c.ll.Remove(back)
-			delete(c.items, back.Value.(*entry[V]).key)
-			c.evictions.Add(1)
-		}
+		return
 	}
-	if writeDisk && c.disk != nil && c.codec != nil {
-		if data, err := c.codec.Marshal(v); err == nil {
-			c.disk.Put(k, data) // best effort; the memory layer is primary
-		}
+	c.items[k] = c.ll.PushFront(&entry[V]{key: k, val: v})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*entry[V]).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -379,6 +508,13 @@ func (c *Cache[V]) GetOrCompute(k Key, fn func() (V, error)) (V, error) {
 // GetOrComputeOutcome is GetOrCompute reporting how the call was served,
 // so observability spans can attribute cache behavior per stage execution
 // without re-deriving it from counter deltas.
+//
+// Tier I/O (disk reads, network round trips) happens outside the cache
+// lock: the caller first registers itself in the inflight map, which
+// gives it per-key exclusion, then probes the tiers. Later same-key
+// callers coalesce on the inflight entry as waits — including callers
+// that would have hit a tier — so a slow tier never blocks unrelated
+// keys.
 func (c *Cache[V]) GetOrComputeOutcome(k Key, fn func() (V, error)) (V, Outcome, error) {
 	if c == nil {
 		v, err := fn()
@@ -388,10 +524,9 @@ func (c *Cache[V]) GetOrComputeOutcome(k Key, fn func() (V, error)) (V, Outcome,
 		return v, OutcomeHit, nil
 	}
 	c.mu.Lock()
-	v, out, ok := c.lookupLocked(k)
-	if ok {
+	if v, ok := c.memLocked(k); ok {
 		c.mu.Unlock()
-		return v, out, nil
+		return v, OutcomeHit, nil
 	}
 	if fl, ok := c.inflight[k]; ok {
 		c.hits.Add(1)
@@ -404,23 +539,97 @@ func (c *Cache[V]) GetOrComputeOutcome(k Key, fn func() (V, error)) (V, Outcome,
 		}
 		return fl.val, OutcomeWait, nil
 	}
-	c.misses.Add(1)
 	fl := &inflightCall[V]{done: make(chan struct{})}
 	c.inflight[k] = fl
 	c.mu.Unlock()
 
-	fl.val, fl.err = fn()
-	close(fl.done)
+	out := c.fill(k, fl, fn)
 
 	c.mu.Lock()
 	delete(c.inflight, k)
 	if fl.err == nil {
 		c.drainPendingLocked()
-		c.insertLocked(k, fl.val, true)
+		c.insertLocked(k, fl.val)
 	}
 	c.mu.Unlock()
-	// out distinguishes a clean miss from a corrupt-blob recompute.
 	return fl.val, out, fl.err
+}
+
+// fill resolves a registered inflight call: probe the backing tiers —
+// taking the cross-process claim on a ClaimTier — and compute on a
+// miss, then write the sealed blob back to the tiers that did not serve
+// it. Runs outside the cache lock; the inflight entry is this key's
+// exclusion. fl.done is closed as soon as the value is known, before
+// the tier write-back, so waiters resume immediately.
+func (c *Cache[V]) fill(k Key, fl *inflightCall[V], fn func() (V, error)) Outcome {
+	served := -1
+	sawCorrupt := false
+	var blob []byte
+	var out Outcome
+
+probe:
+	for i, t := range c.tiers {
+		if ct, ok := t.(ClaimTier); ok {
+			// The claim tier is terminal: it either serves the value,
+			// blocks until the current holder's Put, or grants this
+			// process the lease to compute. A transport error degrades
+			// to a local compute — losing sharing, not correctness.
+			data, res, err := ct.Claim(k)
+			if err != nil {
+				break probe
+			}
+			switch res {
+			case ClaimHit, ClaimWaitHit:
+				if v, ok := c.openBlob(k, t, data); ok {
+					fl.val = v
+					out = OutcomeRemote
+					if res == ClaimWaitHit {
+						out = OutcomeRemoteWait
+					}
+					c.countServed(out)
+					blob, served = data, i
+				} else {
+					sawCorrupt = true
+				}
+			case ClaimWon:
+				// This process now owns the cross-process compute; if
+				// it errors out below, the lease simply expires and a
+				// waiter takes over.
+			}
+			break probe
+		}
+		if data, ok := t.Get(k); ok {
+			if v, ok := c.openBlob(k, t, data); ok {
+				fl.val = v
+				out = t.HitOutcome()
+				c.countServed(out)
+				blob, served = data, i
+				break probe
+			}
+			sawCorrupt = true
+		}
+	}
+
+	if served < 0 {
+		fl.val, fl.err = fn()
+		c.misses.Add(1)
+		out = OutcomeMiss
+		if sawCorrupt {
+			// Distinguishes a clean miss from a corrupt-blob recompute.
+			out = OutcomeCorrupt
+		}
+	}
+	close(fl.done)
+
+	if fl.err == nil && len(c.tiers) > 0 {
+		if blob == nil {
+			blob, _ = c.seal(fl.val)
+		}
+		if blob != nil {
+			c.writeTiers(k, blob, served)
+		}
+	}
+	return out
 }
 
 // Len returns the current entry count.
@@ -439,12 +648,14 @@ func (c *Cache[V]) Stats() Stats {
 		return Stats{}
 	}
 	s := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		DiskHits:  c.diskHits.Load(),
-		Waits:     c.waits.Load(),
-		Corrupt:   c.corrupt.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		DiskHits:    c.diskHits.Load(),
+		RemoteHits:  c.remoteHits.Load(),
+		RemoteWaits: c.remoteWaits.Load(),
+		Waits:       c.waits.Load(),
+		Corrupt:     c.corrupt.Load(),
 	}
 	c.mu.RLock()
 	s.Entries = c.ll.Len()

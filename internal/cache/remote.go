@@ -1,0 +1,358 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cache-server wire protocol, version 1. One request, one response,
+// length prefixed both ways; a connection carries one request at a
+// time, so a blocked CLAIM occupies its connection and nothing else.
+//
+//	request:  [op:1][key:32][len:4 LE][payload:len]
+//	response: [code:1][len:4 LE][payload:len]
+//
+// GET    payload: none.            response: rcHit + blob, or rcMiss.
+// PUT    payload: sealed blob.     response: rcOK, or rcErr (bad checksum).
+// CLAIM  payload: lease ms (4 LE). response: rcHit + blob (value existed),
+//
+//	rcWaitHit + blob (blocked on the holder's PUT), or rcWon (the
+//	caller now holds the lease and must PUT or let it expire).
+//
+// DELETE payload: none.            response: rcOK.
+// STATS  payload: none.            response: rcOK + ServerStats JSON.
+//
+// Blobs cross the wire sealed (see blob.go): the server verifies the
+// checksum on PUT and stores the blob opaquely; clients re-verify on
+// the way in, so a corrupted transfer or a corrupted server store is
+// caught at the same place as a corrupt disk file.
+const (
+	opGet    byte = 1
+	opPut    byte = 2
+	opClaim  byte = 3
+	opStats  byte = 4
+	opDelete byte = 5
+
+	rcMiss    byte = 0
+	rcHit     byte = 1
+	rcWon     byte = 2
+	rcWaitHit byte = 3
+	rcOK      byte = 4
+	rcErr     byte = 5
+)
+
+// maxWireBlob bounds a single wire payload; anything larger is a
+// protocol error, not a cache entry.
+const maxWireBlob = 256 << 20
+
+// reqHeaderLen and respHeaderLen are the fixed wire header sizes.
+const (
+	reqHeaderLen  = 1 + sha256.Size + 4
+	respHeaderLen = 1 + 4
+)
+
+// RemoteConfig tunes a RemoteTier. The zero value selects the defaults.
+type RemoteConfig struct {
+	// Lease is the cross-process claim lease this client requests: how
+	// long the server waits for the claim winner's PUT before handing
+	// the claim to a waiter. Default 10s.
+	Lease time.Duration
+	// Timeout is the per-operation I/O deadline (dial, write, read). A
+	// CLAIM's read deadline is Lease+Timeout, since it legitimately
+	// blocks for up to the lease. Default 5s.
+	Timeout time.Duration
+}
+
+const (
+	defaultLease   = 10 * time.Second
+	defaultTimeout = 5 * time.Second
+	// idleConnsPerPeer caps the per-peer idle pool; bursts dial extra
+	// connections and close them on release.
+	idleConnsPerPeer = 4
+	// ringReplicas is the virtual-node count per peer on the hash ring:
+	// enough for ±a few percent of balance with a handful of peers,
+	// cheap to binary search.
+	ringReplicas = 128
+)
+
+// RemoteTier is the network peer tier: a client of one or more cache
+// servers (server.go) with keys consistent-hash sharded across the
+// peers. It implements ClaimTier, extending singleflight across
+// processes — a worker that loses the claim race for a key waits for
+// the winner's PUT instead of recomputing.
+//
+// Every operation is fail-soft: a transport error counts on Errs and
+// degrades to a miss (Get) or a won claim (Claim), so a dead peer slows
+// a sweep down to local recomputes rather than failing it.
+type RemoteTier struct {
+	peers   []*remotePeer
+	ring    []ringPoint
+	lease   time.Duration
+	timeout time.Duration
+	errs    atomic.Uint64
+}
+
+type ringPoint struct {
+	hash uint64
+	peer *remotePeer
+}
+
+// NewRemoteTier builds a tier over the given peer addresses (host:port).
+// No connection is made until the first operation; Ping checks
+// reachability eagerly.
+func NewRemoteTier(addrs []string, cfg RemoteConfig) (*RemoteTier, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cache: remote tier needs at least one peer address")
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = defaultLease
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultTimeout
+	}
+	t := &RemoteTier{lease: cfg.Lease, timeout: cfg.Timeout}
+	for _, addr := range addrs {
+		p := &remotePeer{addr: addr, timeout: cfg.Timeout}
+		t.peers = append(t.peers, p)
+		for i := 0; i < ringReplicas; i++ {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", addr, i)))
+			t.ring = append(t.ring, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), peer: p})
+		}
+	}
+	sort.Slice(t.ring, func(i, j int) bool { return t.ring[i].hash < t.ring[j].hash })
+	return t, nil
+}
+
+// peerFor routes a key to its shard: the first ring point at or after
+// the key's hash, wrapping. With one peer this is a constant.
+func (t *RemoteTier) peerFor(k Key) *remotePeer {
+	if len(t.peers) == 1 {
+		return t.peers[0]
+	}
+	h := binary.BigEndian.Uint64(k[:8])
+	i := sort.Search(len(t.ring), func(i int) bool { return t.ring[i].hash >= h })
+	if i == len(t.ring) {
+		i = 0
+	}
+	return t.ring[i].peer
+}
+
+// Name implements Tier.
+func (t *RemoteTier) Name() string { return "remote" }
+
+// HitOutcome implements Tier.
+func (t *RemoteTier) HitOutcome() Outcome { return OutcomeRemote }
+
+// Get implements Tier: a GET against the key's shard. Transport errors
+// degrade to a miss.
+func (t *RemoteTier) Get(k Key) ([]byte, bool) {
+	code, payload, err := t.peerFor(k).do(opGet, k, nil, t.timeout)
+	if err != nil {
+		t.errs.Add(1)
+		return nil, false
+	}
+	if code != rcHit {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put implements Tier: a PUT against the key's shard. A PUT also
+// fulfils any claim the caller holds for k, waking cross-process
+// waiters.
+func (t *RemoteTier) Put(k Key, blob []byte) error {
+	code, payload, err := t.peerFor(k).do(opPut, k, blob, t.timeout)
+	if err != nil {
+		t.errs.Add(1)
+		return err
+	}
+	if code == rcErr {
+		return fmt.Errorf("cache: remote put: %s", payload)
+	}
+	return nil
+}
+
+// Delete implements Tier.
+func (t *RemoteTier) Delete(k Key) error {
+	if _, _, err := t.peerFor(k).do(opDelete, k, nil, t.timeout); err != nil {
+		t.errs.Add(1)
+		return err
+	}
+	return nil
+}
+
+// Claim implements ClaimTier. The server answers immediately with the
+// value (ClaimHit) or the lease (ClaimWon), or blocks the call until
+// the current holder's PUT (ClaimWaitHit) or lease expiry (in which
+// case this caller becomes the holder). Transport errors degrade to
+// ClaimWon — compute locally, lose the sharing.
+func (t *RemoteTier) Claim(k Key) ([]byte, ClaimResult, error) {
+	var leaseMs [4]byte
+	binary.LittleEndian.PutUint32(leaseMs[:], uint32(t.lease.Milliseconds()))
+	code, payload, err := t.peerFor(k).do(opClaim, k, leaseMs[:], t.lease+t.timeout)
+	if err != nil {
+		t.errs.Add(1)
+		return nil, ClaimWon, err
+	}
+	switch code {
+	case rcHit:
+		return payload, ClaimHit, nil
+	case rcWaitHit:
+		return payload, ClaimWaitHit, nil
+	case rcWon, rcMiss:
+		return nil, ClaimWon, nil
+	case rcErr:
+		return nil, ClaimWon, fmt.Errorf("cache: remote claim: %s", payload)
+	}
+	return nil, ClaimWon, fmt.Errorf("cache: remote claim: unexpected response code %d", code)
+}
+
+// Errs returns the transport-error count: operations that degraded to
+// local behavior instead of reaching their shard.
+func (t *RemoteTier) Errs() uint64 { return t.errs.Load() }
+
+// Ping verifies every peer answers a STATS round trip.
+func (t *RemoteTier) Ping() error {
+	for _, p := range t.peers {
+		if _, err := statsFrom(p, t.timeout); err != nil {
+			return fmt.Errorf("cache: remote peer %s: %w", p.addr, err)
+		}
+	}
+	return nil
+}
+
+// PeerStats is one shard server's counters, tagged with its address.
+type PeerStats struct {
+	Addr string `json:"addr"`
+	ServerStats
+}
+
+// StatsFromPeers fetches every shard's ServerStats.
+func (t *RemoteTier) StatsFromPeers() ([]PeerStats, error) {
+	out := make([]PeerStats, 0, len(t.peers))
+	for _, p := range t.peers {
+		s, err := statsFrom(p, t.timeout)
+		if err != nil {
+			return nil, fmt.Errorf("cache: remote peer %s: %w", p.addr, err)
+		}
+		out = append(out, PeerStats{Addr: p.addr, ServerStats: s})
+	}
+	return out, nil
+}
+
+func statsFrom(p *remotePeer, timeout time.Duration) (ServerStats, error) {
+	var s ServerStats
+	code, payload, err := p.do(opStats, Key{}, nil, timeout)
+	if err != nil {
+		return s, err
+	}
+	if code != rcOK {
+		return s, fmt.Errorf("stats response code %d", code)
+	}
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// Close drops every pooled connection. In-flight operations finish on
+// their own connections.
+func (t *RemoteTier) Close() {
+	for _, p := range t.peers {
+		p.closeIdle()
+	}
+}
+
+// remotePeer is one shard endpoint with a small idle-connection pool.
+type remotePeer struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	idle []net.Conn
+}
+
+func (p *remotePeer) conn() (net.Conn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return net.DialTimeout("tcp", p.addr, p.timeout)
+}
+
+func (p *remotePeer) release(c net.Conn) {
+	c.SetDeadline(time.Time{}) //nolint:errcheck // pooled conns reset their deadline per op
+	p.mu.Lock()
+	if len(p.idle) < idleConnsPerPeer {
+		p.idle = append(p.idle, c)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *remotePeer) closeIdle() {
+	p.mu.Lock()
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+	p.mu.Unlock()
+}
+
+// do runs one request/response round trip on a pooled connection. Any
+// error closes the connection instead of returning it to the pool, so a
+// half-read stream never poisons a later operation.
+func (p *remotePeer) do(op byte, k Key, payload []byte, deadline time.Duration) (code byte, resp []byte, err error) {
+	c, err := p.conn()
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() {
+		if err != nil {
+			c.Close()
+			return
+		}
+		p.release(c)
+	}()
+	if err = c.SetDeadline(time.Now().Add(deadline)); err != nil {
+		return 0, nil, err
+	}
+	req := make([]byte, reqHeaderLen+len(payload))
+	req[0] = op
+	copy(req[1:1+sha256.Size], k[:])
+	binary.LittleEndian.PutUint32(req[1+sha256.Size:reqHeaderLen], uint32(len(payload)))
+	copy(req[reqHeaderLen:], payload)
+	if _, err = c.Write(req); err != nil {
+		return 0, nil, err
+	}
+	var hdr [respHeaderLen]byte
+	if _, err = io.ReadFull(c, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxWireBlob {
+		err = fmt.Errorf("cache: remote response blob %d bytes exceeds limit", n)
+		return 0, nil, err
+	}
+	if n > 0 {
+		resp = make([]byte, n)
+		if _, err = io.ReadFull(c, resp); err != nil {
+			return 0, nil, err
+		}
+	}
+	return hdr[0], resp, nil
+}

@@ -1,0 +1,379 @@
+package cache
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServerConfig tunes a cache server. The zero value selects the
+// defaults: a 16384-blob memory tier, no disk backing, 10s default
+// lease capped at 60s.
+type ServerConfig struct {
+	// MemEntries bounds the in-memory blob LRU.
+	MemEntries int
+	// Dir, when set, backs the memory tier with a DiskStore: PUTs write
+	// through and a memory miss consults disk, so a restarted server
+	// keeps its contents.
+	Dir string
+	// DirMaxBytes bounds the disk backing (0: unbounded); see
+	// DiskStore's eviction sweep.
+	DirMaxBytes int64
+	// DefaultLease is granted when a CLAIM requests no lease; MaxLease
+	// caps what a client may request.
+	DefaultLease time.Duration
+	MaxLease     time.Duration
+}
+
+const (
+	defaultServerEntries = 16384
+	maxServerLease       = 60 * time.Second
+)
+
+// ServerStats is a cache server's counter snapshot, served over the
+// STATS op and printed when the server shuts down.
+type ServerStats struct {
+	Gets       uint64 `json:"gets"`
+	GetHits    uint64 `json:"get_hits"`
+	Puts       uint64 `json:"puts"`
+	Dels       uint64 `json:"dels"`
+	Claims     uint64 `json:"claims"`
+	ClaimHits  uint64 `json:"claim_hits"`  // CLAIMs answered immediately with the value
+	ClaimWaits uint64 `json:"claim_waits"` // CLAIMs that blocked on a holder and got its PUT
+	ClaimWins  uint64 `json:"claim_wins"`  // CLAIMs granted the compute lease
+	Expired    uint64 `json:"expired"`     // leases that ran out before the holder's PUT
+	Corrupt    uint64 `json:"corrupt"`     // PUTs rejected for a bad checksum
+	Entries    int    `json:"entries"`     // memory-tier blob count
+}
+
+// Server is the cache-server side of the wire protocol (see remote.go):
+// a memory blob LRU, an optional disk backing, and the cross-process
+// claim table behind GET/PUT/CLAIM/DELETE/STATS over TCP. One goroutine
+// per connection, one request in flight per connection — a blocked
+// CLAIM parks its connection and nothing else.
+//
+// Start one with ListenAndServe (`cmd/experiments -cache-serve addr`);
+// shard a key space over several with RemoteTier's consistent hashing.
+type Server struct {
+	cfg  ServerConfig
+	ln   net.Listener
+	mem  *MemTier
+	disk *DiskStore
+
+	mu     sync.Mutex
+	claims map[Key]*serverClaim
+	conns  map[net.Conn]struct{}
+
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+
+	gets, getHits, puts, dels atomic.Uint64
+	claimOps, claimHits       atomic.Uint64
+	claimWaits, claimWins     atomic.Uint64
+	expired, corrupt          atomic.Uint64
+}
+
+// serverClaim is one in-flight cross-process compute: done is closed by
+// the fulfilling PUT; waiters that outlive deadline take the claim over.
+type serverClaim struct {
+	done     chan struct{}
+	deadline time.Time
+}
+
+// ListenAndServe starts a cache server on addr ("host:port"; ":0" picks
+// a free port — read it back from Addr).
+func ListenAndServe(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cache: server listen: %w", err)
+	}
+	return NewServer(ln, cfg)
+}
+
+// NewServer serves the cache protocol on an existing listener, which it
+// takes ownership of.
+func NewServer(ln net.Listener, cfg ServerConfig) (*Server, error) {
+	if cfg.MemEntries <= 0 {
+		cfg.MemEntries = defaultServerEntries
+	}
+	if cfg.DefaultLease <= 0 {
+		cfg.DefaultLease = defaultLease
+	}
+	if cfg.MaxLease <= 0 {
+		cfg.MaxLease = maxServerLease
+	}
+	s := &Server{
+		cfg:    cfg,
+		ln:     ln,
+		mem:    NewMemTier(cfg.MemEntries),
+		claims: map[Key]*serverClaim{},
+		conns:  map[net.Conn]struct{}{},
+		closed: make(chan struct{}),
+	}
+	if cfg.Dir != "" {
+		disk, err := OpenDiskMax(cfg.Dir, cfg.DirMaxBytes)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.disk = disk
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Gets:       s.gets.Load(),
+		GetHits:    s.getHits.Load(),
+		Puts:       s.puts.Load(),
+		Dels:       s.dels.Load(),
+		Claims:     s.claimOps.Load(),
+		ClaimHits:  s.claimHits.Load(),
+		ClaimWaits: s.claimWaits.Load(),
+		ClaimWins:  s.claimWins.Load(),
+		Expired:    s.expired.Load(),
+		Corrupt:    s.corrupt.Load(),
+		Entries:    s.mem.Len(),
+	}
+}
+
+// Close stops the listener, unblocks every parked CLAIM, closes every
+// connection, and waits for the handlers to drain.
+func (s *Server) Close() error {
+	s.once.Do(func() {
+		close(s.closed)
+		s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var hdr [reqHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // client went away (or Close tore the conn down)
+		}
+		op := hdr[0]
+		var k Key
+		copy(k[:], hdr[1:1+len(k)])
+		n := binary.LittleEndian.Uint32(hdr[1+len(k):])
+		if n > maxWireBlob {
+			return
+		}
+		var payload []byte
+		if n > 0 {
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(conn, payload); err != nil {
+				return
+			}
+		}
+		code, resp := s.serve(op, k, payload)
+		if err := writeResp(conn, code, resp); err != nil {
+			return
+		}
+	}
+}
+
+func writeResp(conn net.Conn, code byte, payload []byte) error {
+	out := make([]byte, respHeaderLen+len(payload))
+	out[0] = code
+	binary.LittleEndian.PutUint32(out[1:respHeaderLen], uint32(len(payload)))
+	copy(out[respHeaderLen:], payload)
+	_, err := conn.Write(out)
+	return err
+}
+
+func (s *Server) serve(op byte, k Key, payload []byte) (byte, []byte) {
+	switch op {
+	case opGet:
+		s.gets.Add(1)
+		if blob, ok := s.lookup(k); ok {
+			s.getHits.Add(1)
+			return rcHit, blob
+		}
+		return rcMiss, nil
+	case opPut:
+		s.puts.Add(1)
+		// Verify before storing: a blob the checksum rejects would be
+		// rejected again by every client that fetched it; refusing it
+		// here keeps the shared store clean and points at the writer.
+		if _, err := Open(payload); err != nil {
+			s.corrupt.Add(1)
+			return rcErr, []byte(err.Error())
+		}
+		s.store(k, payload)
+		s.resolveClaim(k)
+		return rcOK, nil
+	case opDelete:
+		s.dels.Add(1)
+		s.mem.Delete(k) //nolint:errcheck // cannot fail
+		if s.disk != nil {
+			s.disk.Delete(k) //nolint:errcheck // best effort
+		}
+		return rcOK, nil
+	case opClaim:
+		return s.claim(k, s.leaseFrom(payload))
+	case opStats:
+		data, err := json.Marshal(s.Stats())
+		if err != nil {
+			return rcErr, []byte(err.Error())
+		}
+		return rcOK, data
+	}
+	return rcErr, []byte(fmt.Sprintf("unknown op %d", op))
+}
+
+// lookup consults memory then the disk backing, refilling memory on a
+// disk hit.
+func (s *Server) lookup(k Key) ([]byte, bool) {
+	if blob, ok := s.mem.Get(k); ok {
+		return blob, true
+	}
+	if s.disk != nil {
+		if blob, ok := s.disk.Get(k); ok {
+			s.mem.Put(k, blob) //nolint:errcheck // cannot fail
+			return blob, true
+		}
+	}
+	return nil, false
+}
+
+func (s *Server) store(k Key, blob []byte) {
+	s.mem.Put(k, blob) //nolint:errcheck // cannot fail
+	if s.disk != nil {
+		s.disk.Put(k, blob) //nolint:errcheck // best effort
+	}
+}
+
+// resolveClaim wakes waiters parked on k. Called after store, so a
+// woken waiter's lookup always finds the value.
+func (s *Server) resolveClaim(k Key) {
+	s.mu.Lock()
+	cl := s.claims[k]
+	if cl != nil {
+		delete(s.claims, k)
+	}
+	s.mu.Unlock()
+	if cl != nil {
+		close(cl.done)
+	}
+}
+
+// leaseFrom decodes a CLAIM's requested lease, clamped to the server's
+// bounds.
+func (s *Server) leaseFrom(payload []byte) time.Duration {
+	lease := s.cfg.DefaultLease
+	if len(payload) >= 4 {
+		if ms := binary.LittleEndian.Uint32(payload); ms > 0 {
+			lease = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if lease > s.cfg.MaxLease {
+		lease = s.cfg.MaxLease
+	}
+	return lease
+}
+
+// claim implements the cross-process singleflight: return the value if
+// it exists, grant the lease if nobody holds it, otherwise park until
+// the holder's PUT resolves the claim or its lease expires (the waiter
+// then takes the claim over — a dead holder delays waiters by one
+// lease, never forever).
+func (s *Server) claim(k Key, lease time.Duration) (byte, []byte) {
+	s.claimOps.Add(1)
+	waited := false
+	for {
+		if blob, ok := s.lookup(k); ok {
+			if waited {
+				s.claimWaits.Add(1)
+				return rcWaitHit, blob
+			}
+			s.claimHits.Add(1)
+			return rcHit, blob
+		}
+		s.mu.Lock()
+		cl := s.claims[k]
+		if cl == nil {
+			s.claims[k] = &serverClaim{done: make(chan struct{}), deadline: time.Now().Add(lease)}
+			s.mu.Unlock()
+			s.claimWins.Add(1)
+			return rcWon, nil
+		}
+		deadline := cl.deadline
+		s.mu.Unlock()
+
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-cl.done:
+			timer.Stop()
+			waited = true
+			// Loop: the fulfilling PUT stored the value before
+			// resolving, so the next lookup serves it.
+		case <-timer.C:
+			// Lease ran out: presume the holder dead and retire its
+			// claim (unless a racing PUT already did). The loop then
+			// either finds a late PUT's value or grants this caller a
+			// fresh lease.
+			s.mu.Lock()
+			if s.claims[k] == cl {
+				delete(s.claims, k)
+				s.expired.Add(1)
+			}
+			s.mu.Unlock()
+			waited = true
+		case <-s.closed:
+			timer.Stop()
+			return rcErr, []byte("server closed")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package cache
+
+// Tier is one backing layer of a tiered cache: a content-addressed blob
+// store below the typed in-memory LRU. Tiers hold sealed blobs (see
+// Seal/Open); the Cache seals on the way down and verifies on the way
+// up, so every tier detects corruption the same way. Implementations:
+// MemTier (the in-memory LRU as a blob store, used by the cache
+// server), DiskStore (one file per key), and RemoteTier (a network
+// peer speaking the cache-server protocol).
+//
+// All methods are best effort from the Cache's point of view: a failed
+// Put loses sharing, not correctness, and a failed Get is a miss.
+type Tier interface {
+	// Name identifies the tier in stats and logs ("memory", "disk",
+	// "remote").
+	Name() string
+	// HitOutcome is the per-call Outcome a lookup served by this tier
+	// reports (OutcomeDisk, OutcomeRemote, ...).
+	HitOutcome() Outcome
+	// Get returns the sealed blob stored for k.
+	Get(k Key) ([]byte, bool)
+	// Put stores the sealed blob for k.
+	Put(k Key, blob []byte) error
+	// Delete removes k; a missing entry is not an error.
+	Delete(k Key) error
+}
+
+// ClaimResult classifies a ClaimTier.Claim call.
+type ClaimResult uint8
+
+const (
+	// ClaimWon means the caller now holds the cross-process lease for k
+	// and is expected to compute the value and fulfil the claim with a
+	// Put. If it dies instead, the lease expires and a waiter takes over.
+	ClaimWon ClaimResult = iota
+	// ClaimHit means the value already existed; no lease was taken.
+	ClaimHit
+	// ClaimWaitHit means another process held the lease and this call
+	// blocked until the winner's Put, which it returns.
+	ClaimWaitHit
+)
+
+func (r ClaimResult) String() string {
+	switch r {
+	case ClaimWon:
+		return "won"
+	case ClaimHit:
+		return "hit"
+	case ClaimWaitHit:
+		return "wait-hit"
+	}
+	return "unknown"
+}
+
+// ClaimTier is a Tier that extends singleflight across processes: Claim
+// either returns the value, blocks on the process currently computing
+// it, or grants the caller a lease to compute it. Only the remote tier
+// implements it — in-process coalescing is the Cache's inflight map.
+type ClaimTier interface {
+	Tier
+	Claim(k Key) ([]byte, ClaimResult, error)
+}
+
+// MemTier adapts the in-memory LRU to the blob Tier interface. The
+// cache server uses it as the hot layer above its disk store; it is
+// also the natural fake for tier-chain tests.
+type MemTier struct {
+	c *Cache[[]byte]
+}
+
+// NewMemTier builds a memory tier bounded to capacity blobs.
+func NewMemTier(capacity int) *MemTier {
+	return &MemTier{c: New[[]byte](capacity)}
+}
+
+// Name implements Tier.
+func (m *MemTier) Name() string { return "memory" }
+
+// HitOutcome implements Tier: a memory-tier hit is a plain hit.
+func (m *MemTier) HitOutcome() Outcome { return OutcomeHit }
+
+// Get implements Tier.
+func (m *MemTier) Get(k Key) ([]byte, bool) { return m.c.Get(k) }
+
+// Put implements Tier.
+func (m *MemTier) Put(k Key, blob []byte) error {
+	m.c.Put(k, blob)
+	return nil
+}
+
+// Delete implements Tier.
+func (m *MemTier) Delete(k Key) error {
+	m.c.Delete(k)
+	return nil
+}
+
+// Len returns the current blob count.
+func (m *MemTier) Len() int { return m.c.Len() }
+
+// Stats exposes the underlying LRU counters.
+func (m *MemTier) Stats() Stats { return m.c.Stats() }

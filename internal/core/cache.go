@@ -62,19 +62,49 @@ func NewCaches() *Caches {
 	}
 }
 
-// WithDisk attaches an on-disk layer under dir to the stages whose values
-// have a byte format (currently compilation: SBF images round-trip
-// through binimg.Marshal). Other stages stay memory-only.
+// compileCodec round-trips compiled images through the SBF byte format.
+func compileCodec() cache.Codec[*binimg.Image] {
+	return cache.Codec[*binimg.Image]{
+		Marshal:   func(im *binimg.Image) ([]byte, error) { return im.Marshal() },
+		Unmarshal: binimg.Unmarshal,
+	}
+}
+
+// WithDisk attaches an unbounded on-disk tier under dir to the stages
+// whose values have a byte format: compilation (SBF images) and
+// simulation (gob results). The Analysis stage stays off disk so a warm
+// single-process run keeps candidate Designs (VHDL emission) intact.
 func (c *Caches) WithDisk(dir string) (*Caches, error) {
-	store, err := cache.OpenDisk(dir)
+	return c.WithDiskMax(dir, 0)
+}
+
+// WithDiskMax is WithDisk with a byte budget: when the directory's blobs
+// exceed maxBytes, the store evicts oldest-mtime-first in a background
+// sweep (0 means unbounded). This is the -cachedir-max flag.
+func (c *Caches) WithDiskMax(dir string, maxBytes int64) (*Caches, error) {
+	store, err := cache.OpenDiskMax(dir, maxBytes)
 	if err != nil {
 		return nil, err
 	}
-	c.Compile.WithDisk(store, cache.Codec[*binimg.Image]{
-		Marshal:   func(im *binimg.Image) ([]byte, error) { return im.Marshal() },
-		Unmarshal: binimg.Unmarshal,
-	})
+	c.Compile.WithTiers(compileCodec(), store)
+	c.Sim.WithTiers(SimCodec(), store)
 	return c, nil
+}
+
+// WithRemote attaches a shared network cache tier (see cache.RemoteTier)
+// to the serializable stages: compilation, simulation, and — when
+// shareAnalysis is set — the assembled Analysis. Sharing the Analysis is
+// what lets distributed workers converge on one cache (an Analysis hit
+// skips sim+lift+synth entirely), but a remotely fetched Analysis has no
+// candidate Designs, so front-ends that emit VHDL must pass
+// shareAnalysis=false.
+func (c *Caches) WithRemote(rt *cache.RemoteTier, shareAnalysis bool) *Caches {
+	c.Compile.WithTiers(compileCodec(), rt)
+	c.Sim.WithTiers(SimCodec(), rt)
+	if shareAnalysis {
+		c.Analysis.WithTiers(AnalysisCodec(), rt)
+	}
+	return c
 }
 
 // cacheNames is the rendering order of the stage caches; StatsMap carries
@@ -104,11 +134,11 @@ func (c *Caches) StatsString() string {
 	}
 	stats := c.StatsMap()
 	var b strings.Builder
-	b.WriteString("cache  stage      hits   miss  disk  wait  corrupt  evict  entries\n")
+	b.WriteString("cache  stage      hits   miss  disk  remote  rwait  wait  corrupt  evict  entries\n")
 	for _, name := range cacheNames {
 		s := stats[name]
-		fmt.Fprintf(&b, "cache  %-8s %6d %6d %5d %5d %7d %6d %8d\n",
-			name, s.Hits, s.Misses, s.DiskHits, s.Waits, s.Corrupt, s.Evictions, s.Entries)
+		fmt.Fprintf(&b, "cache  %-8s %6d %6d %5d %7d %6d %5d %7d %6d %8d\n",
+			name, s.Hits, s.Misses, s.DiskHits, s.RemoteHits, s.RemoteWaits, s.Waits, s.Corrupt, s.Evictions, s.Entries)
 	}
 	return b.String()
 }

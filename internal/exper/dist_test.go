@@ -1,0 +1,147 @@
+package exper
+
+import (
+	"testing"
+
+	"binpart/internal/cache"
+	"binpart/internal/core"
+)
+
+// remoteCaches builds a process-equivalent cache set wired to the shared
+// server, Analysis sharing included (no VHDL is emitted in a sweep).
+func remoteCaches(t *testing.T, srv *cache.Server) *core.Caches {
+	t.Helper()
+	rt, err := cache.NewRemoteTier([]string{srv.Addr()}, cache.RemoteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return core.NewCaches().WithRemote(rt, true)
+}
+
+// TestDistributedShardedT1MatchesSerial is the distributed-sweep golden
+// test, in process: two sharded runners (the "worker processes") split
+// T1 between them against one shared cache server, then a fresh
+// unsharded runner (the "launcher's re-run") executes the full sweep.
+// Its table must be byte-identical to a serial uncached run, and it must
+// have been served from the shared cache — remote analysis hits, zero
+// analysis computes.
+func TestDistributedShardedT1MatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full T1 sweep")
+	}
+	serial, err := NewRunner(1, nil).Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := cache.ListenAndServe("127.0.0.1:0", cache.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const shards = 2
+	for s := 0; s < shards; s++ {
+		w := &Runner{Workers: 2, Caches: remoteCaches(t, srv), ShardIndex: s, ShardCount: shards}
+		if _, err := w.Table1(); err != nil {
+			t.Fatalf("shard %d/%d: %v", s, shards, err)
+		}
+	}
+
+	final := &Runner{Workers: 2, Caches: remoteCaches(t, srv)}
+	dist, err := final.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dist.Format(), serial.Format(); got != want {
+		t.Errorf("distributed table differs from serial:\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	s := final.Caches.Analysis.Stats()
+	if s.RemoteHits == 0 {
+		t.Errorf("final sweep had no remote analysis hits: %+v", s)
+	}
+	if s.Misses != 0 {
+		t.Errorf("final sweep recomputed %d analyses the shards should have shared", s.Misses)
+	}
+	if srv.Stats().Expired != 0 {
+		t.Errorf("server expired a lease during a healthy run: %+v", srv.Stats())
+	}
+}
+
+// TestShardsPartitionJobs pins the ownership rule: every job index is
+// owned by exactly one shard.
+func TestShardsPartitionJobs(t *testing.T) {
+	const shards, jobs = 3, 20
+	for i := 0; i < jobs; i++ {
+		owners := 0
+		for s := 0; s < shards; s++ {
+			r := &Runner{ShardIndex: s, ShardCount: shards}
+			if r.owns(i) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Errorf("job %d has %d owners", i, owners)
+		}
+	}
+	unsharded := &Runner{}
+	for i := 0; i < jobs; i++ {
+		if !unsharded.owns(i) {
+			t.Errorf("unsharded runner disowns job %d", i)
+		}
+	}
+}
+
+// TestShardedCorpusCoversAllSeeds checks the corpus remapping: shards
+// split the seed range without overlap, and a union of their points is
+// the full unsharded corpus.
+func TestShardedCorpusCoversAllSeeds(t *testing.T) {
+	const n = 8
+	seen := map[int64]int{}
+	for s := 0; s < 2; s++ {
+		r := &Runner{Workers: 2, Caches: core.NewCaches(), ShardIndex: s, ShardCount: 2}
+		c, err := r.Corpus(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.N != n/2 {
+			t.Errorf("shard %d: N = %d, want %d", s, c.N, n/2)
+		}
+		for _, pt := range c.Points {
+			seen[pt.Seed]++
+			if pt.Mismatch != "" {
+				t.Errorf("shard %d seed %d: %s", s, pt.Seed, pt.Mismatch)
+			}
+		}
+	}
+	for seed := int64(1); seed < 1+n; seed++ {
+		if seen[seed] != 1 {
+			t.Errorf("seed %d run %d times across shards, want once", seed, seen[seed])
+		}
+	}
+}
+
+// TestCorpusRefSimCached checks the reference-oracle caching: a second
+// corpus run over one cache set must serve every reference simulation
+// from the sim cache instead of re-running the slow reference stepper.
+func TestCorpusRefSimCached(t *testing.T) {
+	caches := core.NewCaches()
+	r := &Runner{Workers: 2, Caches: caches}
+	const n = 4
+	if _, err := r.Corpus(n, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := caches.Sim.Stats()
+	if _, err := r.Corpus(n, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := caches.Sim.Stats()
+	if after.Misses != before.Misses {
+		t.Errorf("second corpus run recomputed %d sims", after.Misses-before.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Errorf("second corpus run had no sim cache hits: %+v -> %+v", before, after)
+	}
+}

@@ -159,9 +159,9 @@ func TestManifestReconciliation(t *testing.T) {
 			continue // job/evaluate stages have no cache
 		}
 		s := statsMap[cacheName]
-		if got, want := st.Hit+st.Wait+st.Disk, s.Hits; got != want {
-			t.Errorf("%s: span hits %d (hit %d + wait %d + disk %d) != cache %q hits %d",
-				st.Stage, got, st.Hit, st.Wait, st.Disk, cacheName, want)
+		if got, want := st.Hit+st.Wait+st.Disk+st.Remote+st.RemoteWait, s.Hits; got != want {
+			t.Errorf("%s: span hits %d (hit %d + wait %d + disk %d + remote %d + rwait %d) != cache %q hits %d",
+				st.Stage, got, st.Hit, st.Wait, st.Disk, st.Remote, st.RemoteWait, cacheName, want)
 		}
 		if got, want := st.Miss+st.Corrupt, s.Misses; got != want {
 			t.Errorf("%s: span misses %d (miss %d + corrupt %d) != cache %q misses %d",

@@ -272,17 +272,19 @@ func (r *Recorder) Spans() []Span {
 // StageTotal aggregates every span of one stage: span count, total wall
 // time, cache outcomes, and counter sums.
 type StageTotal struct {
-	Stage    string `json:"stage"`
-	Spans    int    `json:"spans"`
-	WallUS   int64  `json:"wall_us"`
-	Hit      uint64 `json:"hit"`
-	Miss     uint64 `json:"miss"`
-	Wait     uint64 `json:"wait"`
-	Disk     uint64 `json:"disk"`
-	Corrupt  uint64 `json:"corrupt"`
-	Instrs   uint64 `json:"instrs,omitempty"`
-	Regions  uint64 `json:"regions,omitempty"`
-	Selected uint64 `json:"selected,omitempty"`
+	Stage      string `json:"stage"`
+	Spans      int    `json:"spans"`
+	WallUS     int64  `json:"wall_us"`
+	Hit        uint64 `json:"hit"`
+	Miss       uint64 `json:"miss"`
+	Wait       uint64 `json:"wait"`
+	Disk       uint64 `json:"disk"`
+	Remote     uint64 `json:"remote"`
+	RemoteWait uint64 `json:"rwait"`
+	Corrupt    uint64 `json:"corrupt"`
+	Instrs     uint64 `json:"instrs,omitempty"`
+	Regions    uint64 `json:"regions,omitempty"`
+	Selected   uint64 `json:"selected,omitempty"`
 }
 
 // StageTotals aggregates the recorded spans per stage, in pipeline order
@@ -311,6 +313,10 @@ func (r *Recorder) StageTotals() []StageTotal {
 			st.Wait++
 		case cache.OutcomeDisk:
 			st.Disk++
+		case cache.OutcomeRemote:
+			st.Remote++
+		case cache.OutcomeRemoteWait:
+			st.RemoteWait++
 		case cache.OutcomeCorrupt:
 			st.Corrupt++
 		}
@@ -346,12 +352,12 @@ func (r *Recorder) Table() string {
 	}
 	totals := r.StageTotals()
 	var b strings.Builder
-	b.WriteString("obs    stage     spans   wall(ms)    hit   miss   wait   disk corrupt\n")
+	b.WriteString("obs    stage     spans   wall(ms)    hit   miss   wait   disk remote  rwait corrupt\n")
 	var instrs, regions, selected uint64
 	for _, st := range totals {
-		fmt.Fprintf(&b, "obs    %-8s %6d %10.1f %6d %6d %6d %6d %7d\n",
+		fmt.Fprintf(&b, "obs    %-8s %6d %10.1f %6d %6d %6d %6d %6d %6d %7d\n",
 			st.Stage, st.Spans, float64(st.WallUS)/1e3,
-			st.Hit, st.Miss, st.Wait, st.Disk, st.Corrupt)
+			st.Hit, st.Miss, st.Wait, st.Disk, st.Remote, st.RemoteWait, st.Corrupt)
 		instrs += st.Instrs
 		regions += st.Regions
 		selected += st.Selected

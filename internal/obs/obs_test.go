@@ -288,8 +288,9 @@ func TestSpanOutcomeReconciliation(t *testing.T) {
 
 	st := rec.StageTotals()[0]
 	s := c.Stats()
-	if st.Hit+st.Wait+st.Disk != s.Hits {
-		t.Errorf("span hits %d+%d+%d != cache hits %d", st.Hit, st.Wait, st.Disk, s.Hits)
+	if st.Hit+st.Wait+st.Disk+st.Remote+st.RemoteWait != s.Hits {
+		t.Errorf("span hits %d+%d+%d+%d+%d != cache hits %d",
+			st.Hit, st.Wait, st.Disk, st.Remote, st.RemoteWait, s.Hits)
 	}
 	if st.Miss+st.Corrupt != s.Misses {
 		t.Errorf("span misses %d+%d != cache misses %d", st.Miss, st.Corrupt, s.Misses)

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Distributed shared-cache smoke: one cache shard server plus two worker
+# processes over localhost, cold cache, full T1 sweep. Asserts the
+# distributed table is byte-identical to a serial run and that the
+# launcher's final sweep was actually served by the shard server
+# (remote hits > 0 in the run manifest). The server's per-tier counters
+# and the parent's manifest land in $DISTCACHE_OUT as artifacts.
+set -eu
+
+OUT=${DISTCACHE_OUT:-/tmp/binpart-distcache}
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+BIN="$OUT/experiments"
+go build -o "$BIN" ./cmd/experiments
+
+"$BIN" -cache-serve 127.0.0.1:0 -cache-addr-file "$OUT/addr" 2>"$OUT/server.log" &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -s "$OUT/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "distcache-smoke: server never wrote its bound address" >&2
+        cat "$OUT/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$OUT/addr")
+echo "distcache-smoke: cache server on $ADDR"
+
+"$BIN" -table 1 -j 4 >"$OUT/t1-serial.txt"
+
+"$BIN" -table 1 -j 4 -dist 2 -remote-cache "$ADDR" \
+    -manifest "$OUT/manifest.json" >"$OUT/t1-dist.txt"
+
+if ! diff "$OUT/t1-serial.txt" "$OUT/t1-dist.txt"; then
+    echo "distcache-smoke: distributed T1 differs from the serial run" >&2
+    exit 1
+fi
+
+# The launcher's final sweep runs after the workers exit and must be fed
+# from the shared cache: some stage in the manifest has nonzero remote hits.
+if ! grep -q '"remote": *[1-9]' "$OUT/manifest.json"; then
+    echo "distcache-smoke: no remote cache hits recorded in $OUT/manifest.json" >&2
+    cat "$OUT/manifest.json" >&2
+    exit 1
+fi
+
+# A clean SIGTERM makes the server print its per-tier counters on the way
+# out; keep them next to the manifest as the stats artifact.
+kill -TERM "$SERVER"
+wait "$SERVER" 2>/dev/null || true
+trap - EXIT
+sed -n 's/^cache server stats: //p' "$OUT/server.log" >"$OUT/server-stats.json"
+if [ ! -s "$OUT/server-stats.json" ]; then
+    echo "distcache-smoke: server exited without printing stats" >&2
+    cat "$OUT/server.log" >&2
+    exit 1
+fi
+
+echo "distcache-smoke: OK, tables identical; server stats: $(cat "$OUT/server-stats.json")"
