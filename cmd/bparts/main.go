@@ -18,10 +18,13 @@
 // synthesize) and price every sweep point with core.Evaluate, so a
 // full-catalog sweep costs barely more than a single run.
 //
-// Observability: -trace streams per-stage spans as JSONL, -stats prints
-// the per-stage and cache tables to stderr (-cachestats is the old alias),
-// -manifest writes a run manifest, and -debug-addr serves expvar +
-// net/pprof. All of it is off — and alloc-free — by default.
+// Observability: -trace streams per-stage spans as JSONL (a .gz path
+// gzip-compresses; spans are tagged with the run's trace ID, which
+// -remote-cache peers also learn), -stats prints the per-stage and cache
+// tables with p50/p90/p99 latency columns to stderr (-cachestats is the
+// old alias), -manifest writes a run manifest, and -debug-addr serves
+// expvar + net/pprof + Prometheus-text /metrics. All of it is off — and
+// alloc-free — by default.
 package main
 
 import (
@@ -125,8 +128,17 @@ func main() {
 			fatal(err)
 		}
 	}
+	// Trace context before the remote tier, so the HELLO handshake can
+	// announce it to the cache servers.
+	needObs := *trace != "" || *stats || *cacheStats || *manifestPath != "" || *debugAddr != ""
+	runTrace := ""
+	if needObs {
+		runTrace = obs.NewTraceID()
+	}
+
+	var remote *cache.RemoteTier
 	if *remoteCache != "" {
-		rt, err := cache.NewRemoteTier(strings.Split(*remoteCache, ","), cache.RemoteConfig{})
+		rt, err := cache.NewRemoteTier(strings.Split(*remoteCache, ","), cache.RemoteConfig{TraceID: runTrace})
 		if err == nil {
 			err = rt.Ping()
 		}
@@ -136,30 +148,42 @@ func main() {
 		// The Analysis crosses the wire without candidate Designs, so it
 		// is only shared when this run does not emit VHDL.
 		caches.WithRemote(rt, *vhdlDir == "")
+		remote = rt
 		defer rt.Close()
 	}
 
 	// A recorder only when some surface will read it; nil keeps the flow
 	// on its alloc-free fast path.
 	var rec *obs.Recorder
-	if *trace != "" || *stats || *cacheStats || *manifestPath != "" || *debugAddr != "" {
+	if needObs {
 		rec = obs.NewRecorder()
+		rec.SetTrace(runTrace, "")
 	}
-	var traceFile *os.File
+	var traceFile *obs.TraceWriter
 	if *trace != "" {
-		f, err := os.Create(*trace)
+		tw, err := obs.CreateTrace(*trace)
 		if err != nil {
 			fatal(err)
 		}
-		traceFile = f
-		rec.StreamTo(f)
+		traceFile = tw
+		rec.StreamTo(tw.Writer())
 	}
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr, rec, caches.StatsMap)
+		addr, err := obs.ServeDebug(*debugAddr, obs.DebugSources{
+			Rec:           rec,
+			Caches:        caches.StatsMap,
+			TierLatencies: caches.TierLatencyMap,
+			Peers: func() []cache.PeerMetrics {
+				if remote == nil {
+					return nil
+				}
+				return remote.PeerMetrics()
+			},
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/vars\n", addr)
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/vars (metrics on /metrics)\n", addr)
 	}
 
 	paths := flag.Args()
@@ -210,6 +234,7 @@ func main() {
 		fmt.Fprint(os.Stderr, caches.StatsString())
 	}
 	if traceFile != nil {
+		rec.EmitCaches(caches.StatsMap())
 		if err := rec.Flush(); err != nil {
 			fatal(fmt.Errorf("trace: %w", err))
 		}

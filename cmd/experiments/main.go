@@ -21,10 +21,17 @@
 //	experiments -dist 4 -remote-cache host:9736       # fan the sweep over 4 worker
 //	                                                  # processes sharing one cache,
 //	                                                  # then render from the warm cache
-//	experiments -trace t.jsonl     # stream per-stage spans as JSONL
-//	experiments -stats             # per-stage span + cache tables to stderr
+//	experiments -cache-serve :9736 -cache-metrics-addr :9100  # plus a /metrics
+//	                                                          # sidecar on the server
+//	experiments -trace t.jsonl     # stream per-stage spans as JSONL (.gz gzips)
+//	experiments -trace-id 8f3a...  # join an existing trace instead of minting one
+//	experiments -dist 4 -remote-cache host:9736 -trace-merge run.jsonl
+//	                               # merge parent+worker spans onto one timeline
+//	                               # and reconcile them against cache counters
+//	experiments -stats             # per-stage span + cache tables (p50/p90/p99) to stderr
 //	experiments -manifest m.json   # write the run manifest (config, git, totals)
-//	experiments -debug-addr :6060  # expvar + net/pprof for long sweeps
+//	experiments -debug-addr :6060  # expvar + net/pprof + /metrics for long sweeps
+//	experiments -scrape url        # fetch a /metrics URL and print it (for scripts)
 //	experiments -cpuprofile p.out  # write a pprof CPU profile of the run
 //	experiments -memprofile m.out  # write a pprof heap profile at exit
 //
@@ -38,9 +45,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -74,13 +84,38 @@ func main() {
 	distShard := flag.String("dist-shard", "", "internal: run as shard k/N of a distributed sweep (set by -dist)")
 	stats := flag.Bool("stats", false, "print per-stage span and cache counters to stderr")
 	cacheStats := flag.Bool("cachestats", false, "alias for -stats (the old cache-only counters)")
-	trace := flag.String("trace", "", "stream per-stage spans to this file as JSONL")
+	trace := flag.String("trace", "", "stream per-stage spans to this file as JSONL (gzip when the path ends in .gz)")
+	traceID := flag.String("trace-id", "", "tag spans with this run/trace ID (minted automatically when tracing; set by -dist for workers)")
+	traceMerge := flag.String("trace-merge", "", "with -dist, merge the workers' traces and this process's spans into one trace file at this path (gzip when .gz)")
 	manifestPath := flag.String("manifest", "", "write a run manifest (config, git, per-stage totals, cache accounting) to this JSON file")
-	debugAddr := flag.String("debug-addr", "", "serve expvar + net/pprof on this address (e.g. :6060) for long sweeps")
+	debugAddr := flag.String("debug-addr", "", "serve expvar + net/pprof + Prometheus /metrics on this address (e.g. :6060) for long sweeps")
+	cacheMetricsAddr := flag.String("cache-metrics-addr", "", "with -cache-serve, serve Prometheus text on this address's /metrics (e.g. :0)")
+	cacheMetricsAddrFile := flag.String("cache-metrics-addr-file", "", "with -cache-metrics-addr, also write the bound metrics address to this file")
+	scrape := flag.String("scrape", "", "fetch this URL, print the body to stdout, and exit (curl-free /metrics scraping for scripts)")
 	noCache := flag.Bool("nocache", false, "disable the stage cache entirely")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	// Scrape mode: a tiny HTTP GET so scripts (distcache-smoke) can read
+	// /metrics without curl or wget on the host.
+	if *scrape != "" {
+		resp, err := http.Get(*scrape)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "scrape: %s: %s\n", *scrape, resp.Status)
+			os.Exit(1)
+		}
+		return
+	}
 
 	parseMax := func() int64 {
 		if *cacheDirMax == "" {
@@ -100,6 +135,7 @@ func main() {
 		srv, err := cache.ListenAndServe(*cacheServe, cache.ServerConfig{
 			Dir:         *cacheDir,
 			DirMaxBytes: parseMax(),
+			MetricsAddr: *cacheMetricsAddr,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -110,6 +146,15 @@ func main() {
 			if err := os.WriteFile(*cacheAddrFile, []byte(srv.Addr()), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
+			}
+		}
+		if ma := srv.MetricsAddr(); ma != "" {
+			fmt.Fprintf(os.Stderr, "cache server metrics on http://%s/metrics\n", ma)
+			if *cacheMetricsAddrFile != "" {
+				if err := os.WriteFile(*cacheMetricsAddrFile, []byte(ma), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
 			}
 		}
 		sig := make(chan os.Signal, 1)
@@ -158,9 +203,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// Trace context: every observable run gets a trace ID. A -dist parent
+	// mints one and hands it to the workers (and to the cache servers via
+	// the HELLO handshake); a worker inherits it through -trace-id.
+	needObs := *trace != "" || *traceMerge != "" || *stats || *cacheStats || *manifestPath != "" || *debugAddr != ""
+	runTrace := *traceID
+	if runTrace == "" && (needObs || *dist > 1) {
+		runTrace = obs.NewTraceID()
+	}
+
 	var remote *cache.RemoteTier
 	if *remoteCache != "" && caches != nil {
-		rt, err := cache.NewRemoteTier(strings.Split(*remoteCache, ","), cache.RemoteConfig{})
+		rt, err := cache.NewRemoteTier(strings.Split(*remoteCache, ","), cache.RemoteConfig{TraceID: runTrace})
 		if err == nil {
 			err = rt.Ping()
 		}
@@ -178,26 +232,37 @@ func main() {
 	// The recorder exists only when some surface will read it; a nil
 	// recorder keeps the pipeline on its alloc-free fast path.
 	var rec *obs.Recorder
-	if *trace != "" || *stats || *cacheStats || *manifestPath != "" || *debugAddr != "" {
+	if needObs {
 		rec = obs.NewRecorder()
+		rec.SetTrace(runTrace, *distShard)
 	}
-	var traceFile *os.File
+	var traceFile *obs.TraceWriter
 	if *trace != "" {
-		f, err := os.Create(*trace)
+		tw, err := obs.CreateTrace(*trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		traceFile = f
-		rec.StreamTo(f)
+		traceFile = tw
+		rec.StreamTo(tw.Writer())
 	}
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr, rec, caches.StatsMap)
+		addr, err := obs.ServeDebug(*debugAddr, obs.DebugSources{
+			Rec:           rec,
+			Caches:        caches.StatsMap,
+			TierLatencies: caches.TierLatencyMap,
+			Peers: func() []cache.PeerMetrics {
+				if remote == nil {
+					return nil
+				}
+				return remote.PeerMetrics()
+			},
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/vars\n", addr)
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/vars (metrics on /metrics)\n", addr)
 	}
 
 	runner := exper.NewRunner(*workers, caches)
@@ -217,15 +282,30 @@ func main() {
 		}
 		runner.ShardIndex, runner.ShardCount = k, m
 	}
+	var workerTraces []string
 	if *dist > 1 {
 		if *remoteCache == "" {
 			fmt.Fprintln(os.Stderr, "-dist needs -remote-cache: the workers converge on the shared server")
 			os.Exit(1)
 		}
-		if err := distFanOut(*dist); err != nil {
+		// With -trace-merge, each worker streams its spans to a private
+		// file the parent merges after the warm re-run.
+		traceDir := ""
+		if *traceMerge != "" {
+			dir, err := os.MkdirTemp("", "binpart-dist-trace-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+			traceDir = dir
+		}
+		paths, err := distFanOut(*dist, runTrace, traceDir)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		workerTraces = paths
 		// Fall through: the workers warmed the shared cache; this process
 		// now runs the full sweep served from it and renders the
 		// canonical output (byte-identical to a serial run by
@@ -320,12 +400,22 @@ func main() {
 		}
 	}
 	if traceFile != nil {
+		// The accounting trailer lets any reader of this trace reconcile
+		// span outcomes against the cache counters — and is what the
+		// distributed merge sums across workers.
+		rec.EmitCaches(caches.StatsMap())
 		if err := rec.Flush(); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 			os.Exit(1)
 		}
 		if err := traceFile.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceMerge != "" {
+		if err := writeMergedTrace(*traceMerge, rec, caches, workerTraces); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-merge: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -342,20 +432,26 @@ func main() {
 // 1/n slice of every requested sweep, and waits for them all. The
 // workers exist to warm the shared remote cache: their stdout is
 // discarded (the parent renders the canonical output afterwards) and
-// output-only flags are stripped from their command lines.
-func distFanOut(n int) error {
+// output-only flags are stripped from their command lines. traceID is
+// handed to every worker; when traceDir is set each worker also streams
+// its spans to a file there, and the returned paths (in shard order)
+// feed the parent's merge.
+func distFanOut(n int, traceID, traceDir string) ([]string, error) {
 	exe, err := os.Executable()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Flags the children must not inherit: orchestration (re-fanning out
 	// would fork-bomb) and output artifacts (the parent owns those).
+	// trace and trace-id are re-added per worker below.
 	drop := map[string]bool{
 		"dist": true, "dist-shard": true,
-		"manifest": true, "trace": true, "stats": true, "cachestats": true,
+		"manifest": true, "trace": true, "trace-id": true, "trace-merge": true,
+		"stats": true, "cachestats": true,
 		"debug-addr": true, "corpus-out": true, "fusion-out": true,
 		"cpuprofile": true, "memprofile": true,
 		"cache-serve": true, "cache-addr-file": true,
+		"cache-metrics-addr": true, "cache-metrics-addr-file": true, "scrape": true,
 	}
 	var base []string
 	flag.Visit(func(f *flag.Flag) {
@@ -363,13 +459,22 @@ func distFanOut(n int) error {
 			base = append(base, "-"+f.Name+"="+f.Value.String())
 		}
 	})
+	if traceID != "" {
+		base = append(base, "-trace-id="+traceID)
+	}
+	var paths []string
 	procs := make([]*exec.Cmd, n)
 	for k := 0; k < n; k++ {
 		args := append(append([]string{}, base...), fmt.Sprintf("-dist-shard=%d/%d", k, n))
+		if traceDir != "" {
+			p := filepath.Join(traceDir, fmt.Sprintf("shard-%d.jsonl", k))
+			args = append(args, "-trace="+p)
+			paths = append(paths, p)
+		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
-			return fmt.Errorf("dist worker %d/%d: %w", k, n, err)
+			return nil, fmt.Errorf("dist worker %d/%d: %w", k, n, err)
 		}
 		procs[k] = cmd
 	}
@@ -379,7 +484,45 @@ func distFanOut(n int) error {
 			firstErr = fmt.Errorf("dist worker %d/%d: %w", k, n, err)
 		}
 	}
-	return firstErr
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return paths, nil
+}
+
+// writeMergedTrace combines this process's spans and cache accounting
+// with every worker's trace file into one coherent run trace, verifies
+// the span/cache reconciliation invariant on the merged view, and writes
+// it to path (gzipped when the path ends in .gz).
+func writeMergedTrace(path string, rec *obs.Recorder, caches *core.Caches, workerTraces []string) error {
+	parent := &obs.TraceFile{
+		Trace:       rec.TraceID(),
+		Proc:        "parent",
+		EpochUnixUS: rec.EpochUnixMicro(),
+		Spans:       rec.Records(),
+		Caches:      caches.StatsMap(),
+	}
+	parts := []*obs.TraceFile{parent}
+	for _, p := range workerTraces {
+		tf, err := obs.ReadTrace(p)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, tf)
+	}
+	merged, err := obs.MergeTraces(parts)
+	if err != nil {
+		return err
+	}
+	if err := merged.WriteFile(path); err != nil {
+		return err
+	}
+	if err := merged.Reconcile(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace-merge: %d spans from %d procs reconciled into %s\n",
+		len(merged.Spans), len(parts), path)
+	return nil
 }
 
 // formatter adapts the exper result types to fmt.Stringer.

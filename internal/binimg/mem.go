@@ -96,7 +96,7 @@ func (m *Mem) ReadWord(addr uint32) uint32 {
 	}
 	var v uint32
 	for i := uint32(0); i < 4; i++ {
-		v |= uint32(m.Page(addr+i)[(addr+i)&PageMask]) << (8 * i)
+		v |= uint32(m.Page(addr + i)[(addr+i)&PageMask]) << (8 * i)
 	}
 	return v
 }
@@ -110,6 +110,6 @@ func (m *Mem) WriteWord(addr uint32, v uint32) {
 		return
 	}
 	for i := uint32(0); i < 4; i++ {
-		m.Page(addr+i)[(addr+i)&PageMask] = byte(v >> (8 * i))
+		m.Page(addr + i)[(addr+i)&PageMask] = byte(v >> (8 * i))
 	}
 }

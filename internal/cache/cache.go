@@ -26,6 +26,9 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"binpart/internal/obs/hist"
 )
 
 // Key is a 256-bit content address of one stage's inputs.
@@ -239,8 +242,12 @@ type Cache[V any] struct {
 	// tiers are the backing blob layers below the typed memory LRU, in
 	// probe order (typically disk then remote). Set once during wiring,
 	// before concurrent use; the codec serializes values for them.
-	tiers []Tier
-	codec *Codec[V]
+	// tierHists is parallel to tiers: one read-latency histogram per
+	// tier, recording Get/Claim probe round trips (alloc-free, so it can
+	// sit on the miss path unconditionally).
+	tiers     []Tier
+	tierHists []*hist.Histogram
+	codec     *Codec[V]
 }
 
 // New creates a cache bounded to capacity entries (minimum 1).
@@ -276,9 +283,44 @@ func (c *Cache[V]) WithTiers(codec Codec[V], tiers ...Tier) *Cache[V] {
 	}
 	c.mu.Lock()
 	c.codec = &codec
+	for range tiers {
+		c.tierHists = append(c.tierHists, &hist.Histogram{})
+	}
 	c.tiers = append(c.tiers, tiers...)
 	c.mu.Unlock()
 	return c
+}
+
+// tierGet probes one backing tier, timing the round trip into the
+// tier's latency histogram.
+func (c *Cache[V]) tierGet(i int, t Tier, k Key) ([]byte, bool) {
+	start := time.Now()
+	blob, ok := t.Get(k)
+	c.tierHists[i].Record(time.Since(start))
+	return blob, ok
+}
+
+// tierClaim is tierGet for the claim round trip, which can legitimately
+// block for a lease — the histogram is where that wait becomes visible.
+func (c *Cache[V]) tierClaim(i int, ct ClaimTier, k Key) ([]byte, ClaimResult, error) {
+	start := time.Now()
+	blob, res, err := ct.Claim(k)
+	c.tierHists[i].Record(time.Since(start))
+	return blob, res, err
+}
+
+// TierLatencies snapshots the per-tier read-latency histograms, keyed by
+// tier name ("disk", "remote", ...). Nil-safe; empty when no tiers are
+// attached.
+func (c *Cache[V]) TierLatencies() map[string]hist.Snapshot {
+	if c == nil || len(c.tiers) == 0 {
+		return nil
+	}
+	out := make(map[string]hist.Snapshot, len(c.tiers))
+	for i, t := range c.tiers {
+		out[t.Name()] = c.tierHists[i].Snapshot()
+	}
+	return out
 }
 
 // Get returns the cached value for k, consulting memory then every
@@ -309,8 +351,8 @@ func (c *Cache[V]) GetOutcome(k Key) (V, Outcome, bool) {
 		return v, OutcomeHit, true
 	}
 	sawCorrupt := false
-	for _, t := range c.tiers {
-		blob, ok := t.Get(k)
+	for i, t := range c.tiers {
+		blob, ok := c.tierGet(i, t, k)
 		if !ok {
 			continue
 		}
@@ -574,7 +616,7 @@ probe:
 			// blocks until the current holder's Put, or grants this
 			// process the lease to compute. A transport error degrades
 			// to a local compute — losing sharing, not correctness.
-			data, res, err := ct.Claim(k)
+			data, res, err := c.tierClaim(i, ct, k)
 			if err != nil {
 				break probe
 			}
@@ -598,7 +640,7 @@ probe:
 			}
 			break probe
 		}
-		if data, ok := t.Get(k); ok {
+		if data, ok := c.tierGet(i, t, k); ok {
 			if v, ok := c.openBlob(k, t, data); ok {
 				fl.val = v
 				out = t.HitOutcome()

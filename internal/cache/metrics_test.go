@@ -1,0 +1,172 @@
+package cache
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestHelloTraceRegistration checks the v2 handshake: a client dialed
+// with a trace ID announces it once per connection, and the server
+// records both the hello count and the distinct trace ID.
+func TestHelloTraceRegistration(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	rt := dialTier(t, RemoteConfig{TraceID: "feedface01"}, srv)
+
+	k := NewHasher("t").String("hello").Sum()
+	if err := rt.Put(k, Seal([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := srv.TraceIDs()
+	if len(ids) != 1 || ids[0] != "feedface01" {
+		t.Errorf("server trace IDs = %v, want [feedface01]", ids)
+	}
+	if s := srv.Stats(); s.Hellos == 0 || s.Traces != 1 {
+		t.Errorf("server stats hellos=%d traces=%d", s.Hellos, s.Traces)
+	}
+
+	// A second client on the same run must not inflate the trace set.
+	rt2 := dialTier(t, RemoteConfig{TraceID: "feedface01"}, srv)
+	if _, ok := rt2.Get(k); !ok {
+		t.Fatal("get after put missed")
+	}
+	if s := srv.Stats(); s.Traces != 1 {
+		t.Errorf("duplicate trace ID double-counted: traces=%d", s.Traces)
+	}
+
+	// A client without a trace ID stays on the v1 wire exchange.
+	rt3 := dialTier(t, RemoteConfig{}, srv)
+	if _, ok := rt3.Get(k); !ok {
+		t.Fatal("untraced get missed")
+	}
+	if s := srv.Stats(); s.Traces != 1 {
+		t.Errorf("untraced client registered a trace: traces=%d", s.Traces)
+	}
+}
+
+// TestServerTraceCap: the trace set is bounded so a misbehaving fleet
+// cannot grow server memory without limit.
+func TestServerTraceCap(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	for i := 0; i < maxServerTraces+8; i++ {
+		rt := dialTier(t, RemoteConfig{TraceID: fmt.Sprintf("trace-%03d", i)}, srv)
+		rt.Close()
+	}
+	if got := len(srv.TraceIDs()); got != maxServerTraces {
+		t.Errorf("trace set grew to %d, cap is %d", got, maxServerTraces)
+	}
+}
+
+// TestPeerMetrics checks the client-side ledger: per-peer op counts,
+// byte counters in both directions, and a populated RTT histogram.
+func TestPeerMetrics(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	rt := dialTier(t, RemoteConfig{TraceID: "cafe"}, srv)
+
+	k := NewHasher("t").String("pm").Sum()
+	blob := Seal([]byte("payload"))
+	if err := rt.Put(k, blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.Get(k); !ok {
+		t.Fatal("get missed")
+	}
+
+	pms := rt.PeerMetrics()
+	if len(pms) != 1 {
+		t.Fatalf("got %d peers, want 1", len(pms))
+	}
+	pm := pms[0]
+	if pm.Addr != srv.Addr() {
+		t.Errorf("peer addr = %q, want %q", pm.Addr, srv.Addr())
+	}
+	// Ping + hello + put + get, all against one peer.
+	if pm.Ops < 3 || pm.Errs != 0 {
+		t.Errorf("ops=%d errs=%d", pm.Ops, pm.Errs)
+	}
+	if pm.RTT.Count != pm.Ops {
+		t.Errorf("rtt samples %d != ops %d", pm.RTT.Count, pm.Ops)
+	}
+	if pm.BytesOut < uint64(len(blob)) || pm.BytesIn < uint64(len(blob)) {
+		t.Errorf("bytes out=%d in=%d, blob is %d", pm.BytesOut, pm.BytesIn, len(blob))
+	}
+
+	// Server-side byte accounting must have seen the same payload.
+	if s := srv.Stats(); s.BytesIn < uint64(len(blob)) || s.BytesOut < uint64(len(blob)) {
+		t.Errorf("server bytes in=%d out=%d", s.BytesIn, s.BytesOut)
+	}
+}
+
+// TestServerMetricsEndpoint stands up the sidecar /metrics listener and
+// scrapes it after live traffic: counters, the traces gauge, and op
+// latency quantiles must all be present in exposition format.
+func TestServerMetricsEndpoint(t *testing.T) {
+	srv := startServer(t, ServerConfig{MetricsAddr: "127.0.0.1:0"})
+	if srv.MetricsAddr() == "" {
+		t.Fatal("metrics listener did not bind")
+	}
+	rt := dialTier(t, RemoteConfig{TraceID: "beef"}, srv)
+	k := NewHasher("t").String("scrape").Sum()
+	if err := rt.Put(k, Seal([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.Get(k); !ok {
+		t.Fatal("get missed")
+	}
+
+	resp, err := http.Get("http://" + srv.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"binpart_cache_server_gets_total 1",
+		"binpart_cache_server_get_hits_total 1",
+		"binpart_cache_server_puts_total 1",
+		"binpart_cache_server_hellos_total 1",
+		"binpart_cache_server_traces 1",
+		`binpart_cache_server_bytes_total{direction="in"}`,
+		`binpart_cache_server_op_latency_seconds{op="get",quantile="0.99"}`,
+		`binpart_cache_server_op_latency_seconds{op="put",quantile="0.5"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestCacheTierLatencies checks that tier probes feed the per-tier
+// histograms keyed by tier name, and that a tierless cache reports nil.
+func TestCacheTierLatencies(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	rt := dialTier(t, RemoteConfig{}, srv)
+	c := New[string](8).WithTiers(stringCodec, rt)
+
+	k := NewHasher("t").String("lat").Sum()
+	if _, err := c.GetOrCompute(k, func() (string, error) { return "v", nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	lat := c.TierLatencies()
+	snap, ok := lat[rt.Name()]
+	if !ok || snap.Count == 0 {
+		t.Fatalf("no latency samples for tier %q: %v", rt.Name(), lat)
+	}
+
+	if got := New[string](8).TierLatencies(); got != nil {
+		t.Errorf("tierless cache reports latencies: %v", got)
+	}
+}

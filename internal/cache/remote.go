@@ -11,9 +11,11 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"binpart/internal/obs/hist"
 )
 
-// Cache-server wire protocol, version 1. One request, one response,
+// Cache-server wire protocol, version 2. One request, one response,
 // length prefixed both ways; a connection carries one request at a
 // time, so a blocked CLAIM occupies its connection and nothing else.
 //
@@ -29,6 +31,13 @@ import (
 //
 // DELETE payload: none.            response: rcOK.
 // STATS  payload: none.            response: rcOK + ServerStats JSON.
+// HELLO  payload: [version:1][trace-id:rest] (v2). The client announces
+//
+//	its protocol version and run trace ID once per fresh connection,
+//	tying the server's work into the run's distributed trace. The key
+//	field is unused. Response: rcOK. A v1 server answers rcErr
+//	("unknown op"), which clients ignore — HELLO is fail-soft, so v2
+//	clients interoperate with v1 servers and vice versa.
 //
 // Blobs cross the wire sealed (see blob.go): the server verifies the
 // checksum on PUT and stores the blob opaquely; clients re-verify on
@@ -40,6 +49,7 @@ const (
 	opClaim  byte = 3
 	opStats  byte = 4
 	opDelete byte = 5
+	opHello  byte = 6
 
 	rcMiss    byte = 0
 	rcHit     byte = 1
@@ -47,6 +57,9 @@ const (
 	rcWaitHit byte = 3
 	rcOK      byte = 4
 	rcErr     byte = 5
+
+	// protocolVersion is what HELLO announces. Version 1 predates HELLO.
+	protocolVersion byte = 2
 )
 
 // maxWireBlob bounds a single wire payload; anything larger is a
@@ -69,6 +82,10 @@ type RemoteConfig struct {
 	// CLAIM's read deadline is Lease+Timeout, since it legitimately
 	// blocks for up to the lease. Default 5s.
 	Timeout time.Duration
+	// TraceID, when set, is announced to every peer on each fresh
+	// connection via HELLO, tagging the server's view of this client
+	// into the run's distributed trace. Empty disables the handshake.
+	TraceID string
 }
 
 const (
@@ -120,7 +137,7 @@ func NewRemoteTier(addrs []string, cfg RemoteConfig) (*RemoteTier, error) {
 	}
 	t := &RemoteTier{lease: cfg.Lease, timeout: cfg.Timeout}
 	for _, addr := range addrs {
-		p := &remotePeer{addr: addr, timeout: cfg.Timeout}
+		p := &remotePeer{addr: addr, timeout: cfg.Timeout, traceID: cfg.TraceID}
 		t.peers = append(t.peers, p)
 		for i := 0; i < ringReplicas; i++ {
 			sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", addr, i)))
@@ -235,6 +252,36 @@ type PeerStats struct {
 	ServerStats
 }
 
+// PeerMetrics is this client's wire-level view of one shard: operations
+// completed, transport errors, bytes each way, and the round-trip-time
+// histogram (CLAIM round trips include lease waits, so the tail is the
+// cross-process contention signal).
+type PeerMetrics struct {
+	Addr     string        `json:"addr"`
+	Ops      uint64        `json:"ops"`
+	Errs     uint64        `json:"errs"`
+	BytesIn  uint64        `json:"bytes_in"`
+	BytesOut uint64        `json:"bytes_out"`
+	RTT      hist.Snapshot `json:"rtt"`
+}
+
+// PeerMetrics snapshots the client-side wire metrics for every peer, in
+// configuration order.
+func (t *RemoteTier) PeerMetrics() []PeerMetrics {
+	out := make([]PeerMetrics, 0, len(t.peers))
+	for _, p := range t.peers {
+		out = append(out, PeerMetrics{
+			Addr:     p.addr,
+			Ops:      p.ops.Load(),
+			Errs:     p.errs.Load(),
+			BytesIn:  p.bytesIn.Load(),
+			BytesOut: p.bytesOut.Load(),
+			RTT:      p.rtt.Snapshot(),
+		})
+	}
+	return out
+}
+
 // StatsFromPeers fetches every shard's ServerStats.
 func (t *RemoteTier) StatsFromPeers() ([]PeerStats, error) {
 	out := make([]PeerStats, 0, len(t.peers))
@@ -271,10 +318,19 @@ func (t *RemoteTier) Close() {
 	}
 }
 
-// remotePeer is one shard endpoint with a small idle-connection pool.
+// remotePeer is one shard endpoint with a small idle-connection pool
+// and per-peer wire metrics: operation/error counts, bytes each way,
+// and a round-trip-time histogram (claim RTTs include lease waits).
 type remotePeer struct {
 	addr    string
 	timeout time.Duration
+	traceID string
+
+	ops      atomic.Uint64
+	errs     atomic.Uint64
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+	rtt      hist.Histogram
 
 	mu   sync.Mutex
 	idle []net.Conn
@@ -289,7 +345,54 @@ func (p *remotePeer) conn() (net.Conn, error) {
 		return c, nil
 	}
 	p.mu.Unlock()
-	return net.DialTimeout("tcp", p.addr, p.timeout)
+	c, err := net.DialTimeout("tcp", p.addr, p.timeout)
+	if err != nil {
+		return nil, err
+	}
+	// Announce trace context once per fresh connection. Any failure —
+	// including a v1 server's rcErr — leaves the connection usable; a
+	// genuinely broken transport surfaces on the operation that follows.
+	if p.traceID != "" {
+		if err := p.hello(c); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// hello runs the HELLO round trip on a fresh connection: protocol
+// version byte plus the trace ID. The response code is deliberately
+// ignored — a v1 server answers rcErr for the unknown op and the
+// connection stays usable either way.
+func (p *remotePeer) hello(c net.Conn) error {
+	if err := c.SetDeadline(time.Now().Add(p.timeout)); err != nil {
+		return err
+	}
+	payload := append([]byte{protocolVersion}, p.traceID...)
+	req := make([]byte, reqHeaderLen+len(payload))
+	req[0] = opHello
+	binary.LittleEndian.PutUint32(req[1+sha256.Size:reqHeaderLen], uint32(len(payload)))
+	copy(req[reqHeaderLen:], payload)
+	if _, err := c.Write(req); err != nil {
+		return err
+	}
+	var hdr [respHeaderLen]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxWireBlob {
+		return fmt.Errorf("cache: hello response blob %d bytes exceeds limit", n)
+	}
+	if n > 0 {
+		if _, err := io.CopyN(io.Discard, c, int64(n)); err != nil {
+			return err
+		}
+	}
+	p.bytesOut.Add(uint64(len(req)))
+	p.bytesIn.Add(uint64(respHeaderLen) + uint64(n))
+	return nil
 }
 
 func (p *remotePeer) release(c net.Conn) {
@@ -317,15 +420,20 @@ func (p *remotePeer) closeIdle() {
 // error closes the connection instead of returning it to the pool, so a
 // half-read stream never poisons a later operation.
 func (p *remotePeer) do(op byte, k Key, payload []byte, deadline time.Duration) (code byte, resp []byte, err error) {
+	start := time.Now()
 	c, err := p.conn()
 	if err != nil {
+		p.errs.Add(1)
 		return 0, nil, err
 	}
 	defer func() {
 		if err != nil {
+			p.errs.Add(1)
 			c.Close()
 			return
 		}
+		p.ops.Add(1)
+		p.rtt.Record(time.Since(start))
 		p.release(c)
 	}()
 	if err = c.SetDeadline(time.Now().Add(deadline)); err != nil {
@@ -339,6 +447,7 @@ func (p *remotePeer) do(op byte, k Key, payload []byte, deadline time.Duration) 
 	if _, err = c.Write(req); err != nil {
 		return 0, nil, err
 	}
+	p.bytesOut.Add(uint64(len(req)))
 	var hdr [respHeaderLen]byte
 	if _, err = io.ReadFull(c, hdr[:]); err != nil {
 		return 0, nil, err
@@ -354,5 +463,6 @@ func (p *remotePeer) do(op byte, k Key, payload []byte, deadline time.Duration) 
 			return 0, nil, err
 		}
 	}
+	p.bytesIn.Add(uint64(respHeaderLen) + uint64(n))
 	return hdr[0], resp, nil
 }

@@ -7,9 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"binpart/internal/obs/hist"
 )
 
 // ServerConfig tunes a cache server. The zero value selects the
@@ -29,11 +33,19 @@ type ServerConfig struct {
 	// caps what a client may request.
 	DefaultLease time.Duration
 	MaxLease     time.Duration
+	// MetricsAddr, when set, starts an HTTP listener serving Prometheus
+	// text on /metrics (":0" picks a free port — read it back from
+	// MetricsAddr()), making the server observable while running instead
+	// of only at shutdown.
+	MetricsAddr string
 }
 
 const (
 	defaultServerEntries = 16384
 	maxServerLease       = 60 * time.Second
+	// maxServerTraces bounds the distinct-trace-ID set a server retains;
+	// beyond it new IDs still count but are not stored.
+	maxServerTraces = 64
 )
 
 // ServerStats is a cache server's counter snapshot, served over the
@@ -44,12 +56,16 @@ type ServerStats struct {
 	Puts       uint64 `json:"puts"`
 	Dels       uint64 `json:"dels"`
 	Claims     uint64 `json:"claims"`
-	ClaimHits  uint64 `json:"claim_hits"`  // CLAIMs answered immediately with the value
-	ClaimWaits uint64 `json:"claim_waits"` // CLAIMs that blocked on a holder and got its PUT
-	ClaimWins  uint64 `json:"claim_wins"`  // CLAIMs granted the compute lease
-	Expired    uint64 `json:"expired"`     // leases that ran out before the holder's PUT
-	Corrupt    uint64 `json:"corrupt"`     // PUTs rejected for a bad checksum
-	Entries    int    `json:"entries"`     // memory-tier blob count
+	ClaimHits  uint64 `json:"claim_hits"`          // CLAIMs answered immediately with the value
+	ClaimWaits uint64 `json:"claim_waits"`         // CLAIMs that blocked on a holder and got its PUT
+	ClaimWins  uint64 `json:"claim_wins"`          // CLAIMs granted the compute lease
+	Expired    uint64 `json:"expired"`             // leases that ran out before the holder's PUT
+	Corrupt    uint64 `json:"corrupt"`             // PUTs rejected for a bad checksum
+	Entries    int    `json:"entries"`             // memory-tier blob count
+	Hellos     uint64 `json:"hellos,omitempty"`    // HELLO handshakes received (v2 clients)
+	Traces     int    `json:"traces,omitempty"`    // distinct trace IDs announced
+	BytesIn    uint64 `json:"bytes_in,omitempty"`  // request bytes read off the wire
+	BytesOut   uint64 `json:"bytes_out,omitempty"` // response bytes written
 }
 
 // Server is the cache-server side of the wire protocol (see remote.go):
@@ -61,14 +77,16 @@ type ServerStats struct {
 // Start one with ListenAndServe (`cmd/experiments -cache-serve addr`);
 // shard a key space over several with RemoteTier's consistent hashing.
 type Server struct {
-	cfg  ServerConfig
-	ln   net.Listener
-	mem  *MemTier
-	disk *DiskStore
+	cfg       ServerConfig
+	ln        net.Listener
+	metricsLn net.Listener
+	mem       *MemTier
+	disk      *DiskStore
 
 	mu     sync.Mutex
 	claims map[Key]*serverClaim
 	conns  map[net.Conn]struct{}
+	traces map[string]struct{} // distinct trace IDs announced via HELLO
 
 	closed chan struct{}
 	once   sync.Once
@@ -78,6 +96,12 @@ type Server struct {
 	claimOps, claimHits       atomic.Uint64
 	claimWaits, claimWins     atomic.Uint64
 	expired, corrupt          atomic.Uint64
+	hellos                    atomic.Uint64
+	bytesIn, bytesOut         atomic.Uint64
+
+	// opHists is indexed by wire op code: serve-side latency per
+	// operation (a CLAIM's includes its lease wait).
+	opHists [opHello + 1]hist.Histogram
 }
 
 // serverClaim is one in-flight cross-process compute: done is closed by
@@ -115,6 +139,7 @@ func NewServer(ln net.Listener, cfg ServerConfig) (*Server, error) {
 		mem:    NewMemTier(cfg.MemEntries),
 		claims: map[Key]*serverClaim{},
 		conns:  map[net.Conn]struct{}{},
+		traces: map[string]struct{}{},
 		closed: make(chan struct{}),
 	}
 	if cfg.Dir != "" {
@@ -125,6 +150,20 @@ func NewServer(ln net.Listener, cfg ServerConfig) (*Server, error) {
 		}
 		s.disk = disk
 	}
+	if cfg.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("cache: server metrics listen: %w", err)
+		}
+		s.metricsLn = mln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			s.WriteMetrics(w)
+		})
+		go http.Serve(mln, mux) //nolint:errcheck // torn down by Close
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -133,8 +172,19 @@ func NewServer(ln net.Listener, cfg ServerConfig) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// MetricsAddr returns the bound /metrics address ("" when disabled).
+func (s *Server) MetricsAddr() string {
+	if s.metricsLn == nil {
+		return ""
+	}
+	return s.metricsLn.Addr().String()
+}
+
 // Stats snapshots the server counters.
 func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	traces := len(s.traces)
+	s.mu.Unlock()
 	return ServerStats{
 		Gets:       s.gets.Load(),
 		GetHits:    s.getHits.Load(),
@@ -147,6 +197,57 @@ func (s *Server) Stats() ServerStats {
 		Expired:    s.expired.Load(),
 		Corrupt:    s.corrupt.Load(),
 		Entries:    s.mem.Len(),
+		Hellos:     s.hellos.Load(),
+		Traces:     traces,
+		BytesIn:    s.bytesIn.Load(),
+		BytesOut:   s.bytesOut.Load(),
+	}
+}
+
+// TraceIDs lists the distinct trace IDs clients have announced, sorted.
+func (s *Server) TraceIDs() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.traces))
+	for id := range s.traces {
+		out = append(out, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// serverOpNames labels the op-latency histograms for /metrics.
+var serverOpNames = map[byte]string{
+	opGet:    "get",
+	opPut:    "put",
+	opClaim:  "claim",
+	opStats:  "stats",
+	opDelete: "delete",
+	opHello:  "hello",
+}
+
+// WriteMetrics renders the server's counters and per-op latency
+// histograms in the Prometheus text exposition format.
+func (s *Server) WriteMetrics(w io.Writer) {
+	st := s.Stats()
+	p := hist.NewProm(w)
+	p.Counter("binpart_cache_server_gets_total", "", float64(st.Gets))
+	p.Counter("binpart_cache_server_get_hits_total", "", float64(st.GetHits))
+	p.Counter("binpart_cache_server_puts_total", "", float64(st.Puts))
+	p.Counter("binpart_cache_server_dels_total", "", float64(st.Dels))
+	p.Counter("binpart_cache_server_claims_total", hist.Label("outcome", "hit"), float64(st.ClaimHits))
+	p.Counter("binpart_cache_server_claims_total", hist.Label("outcome", "wait"), float64(st.ClaimWaits))
+	p.Counter("binpart_cache_server_claims_total", hist.Label("outcome", "won"), float64(st.ClaimWins))
+	p.Counter("binpart_cache_server_leases_expired_total", "", float64(st.Expired))
+	p.Counter("binpart_cache_server_corrupt_puts_total", "", float64(st.Corrupt))
+	p.Counter("binpart_cache_server_hellos_total", "", float64(st.Hellos))
+	p.Counter("binpart_cache_server_bytes_total", hist.Label("direction", "in"), float64(st.BytesIn))
+	p.Counter("binpart_cache_server_bytes_total", hist.Label("direction", "out"), float64(st.BytesOut))
+	p.Gauge("binpart_cache_server_entries", "", float64(st.Entries))
+	p.Gauge("binpart_cache_server_traces", "", float64(st.Traces))
+	for op := opGet; op <= opHello; op++ {
+		p.Summary("binpart_cache_server_op_latency_seconds",
+			hist.Label("op", serverOpNames[op]), s.opHists[op].Snapshot())
 	}
 }
 
@@ -156,6 +257,9 @@ func (s *Server) Close() error {
 	s.once.Do(func() {
 		close(s.closed)
 		s.ln.Close()
+		if s.metricsLn != nil {
+			s.metricsLn.Close()
+		}
 		s.mu.Lock()
 		for c := range s.conns {
 			c.Close()
@@ -217,7 +321,13 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
+		s.bytesIn.Add(uint64(reqHeaderLen) + uint64(n))
+		start := time.Now()
 		code, resp := s.serve(op, k, payload)
+		if int(op) < len(s.opHists) {
+			s.opHists[op].Record(time.Since(start))
+		}
+		s.bytesOut.Add(uint64(respHeaderLen) + uint64(len(resp)))
 		if err := writeResp(conn, code, resp); err != nil {
 			return
 		}
@@ -263,6 +373,21 @@ func (s *Server) serve(op byte, k Key, payload []byte) (byte, []byte) {
 		return rcOK, nil
 	case opClaim:
 		return s.claim(k, s.leaseFrom(payload))
+	case opHello:
+		// [version:1][trace-id:rest]. Versions are informational — the
+		// op set is backward compatible — and the trace set is bounded,
+		// so a misbehaving client cannot grow server memory.
+		s.hellos.Add(1)
+		if len(payload) > 1 {
+			if id := string(payload[1:]); len(id) <= 128 {
+				s.mu.Lock()
+				if len(s.traces) < maxServerTraces {
+					s.traces[id] = struct{}{}
+				}
+				s.mu.Unlock()
+			}
+		}
+		return rcOK, nil
 	case opStats:
 		data, err := json.Marshal(s.Stats())
 		if err != nil {

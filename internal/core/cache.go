@@ -11,6 +11,7 @@ import (
 	"binpart/internal/dopt"
 	"binpart/internal/ir"
 	"binpart/internal/obs"
+	"binpart/internal/obs/hist"
 	"binpart/internal/sim"
 	"binpart/internal/synth"
 )
@@ -125,6 +126,28 @@ func (c *Caches) StatsMap() map[string]cache.Stats {
 		"synth":    c.Synth.Stats(),
 		"analysis": c.Analysis.Stats(),
 	}
+}
+
+// TierLatencyMap snapshots every stage cache's per-tier read-latency
+// histograms, keyed by stage name then tier name. Stages with no backing
+// tiers are omitted, so a memory-only run contributes nothing.
+func (c *Caches) TierLatencyMap() map[string]map[string]hist.Snapshot {
+	if c == nil {
+		return nil
+	}
+	out := map[string]map[string]hist.Snapshot{}
+	for name, lats := range map[string]map[string]hist.Snapshot{
+		"compile":  c.Compile.TierLatencies(),
+		"sim":      c.Sim.TierLatencies(),
+		"lift":     c.Lift.TierLatencies(),
+		"synth":    c.Synth.TierLatencies(),
+		"analysis": c.Analysis.TierLatencies(),
+	} {
+		if len(lats) > 0 {
+			out[name] = lats
+		}
+	}
+	return out
 }
 
 // StatsString formats per-stage hit/miss/eviction counters.

@@ -3,6 +3,8 @@ package exper
 import (
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -120,15 +122,6 @@ func TestParallelSpanCountsMatchSerial(t *testing.T) {
 	}
 }
 
-// stageForCache maps span stage names to the cache each stage consults.
-var stageForCache = map[string]string{
-	obs.StageCompile: "compile",
-	obs.StageSim:     "sim",
-	obs.StageLift:    "lift",
-	obs.StageSynth:   "synth",
-	obs.StageAnalyze: "analysis",
-}
-
 // TestManifestReconciliation is the unified-accounting property test: on
 // a shared-recorder 8-worker sweep, the manifest's cache section must be
 // exactly the -stats snapshot, its span total must equal the recorder's,
@@ -154,7 +147,7 @@ func TestManifestReconciliation(t *testing.T) {
 	}
 
 	for _, st := range m.Stages {
-		cacheName, ok := stageForCache[st.Stage]
+		cacheName, ok := obs.CacheForStage[st.Stage]
 		if !ok {
 			continue // job/evaluate stages have no cache
 		}
@@ -166,6 +159,86 @@ func TestManifestReconciliation(t *testing.T) {
 		if got, want := st.Miss+st.Corrupt, s.Misses; got != want {
 			t.Errorf("%s: span misses %d (miss %d + corrupt %d) != cache %q misses %d",
 				st.Stage, got, st.Miss, st.Corrupt, cacheName, want)
+		}
+	}
+}
+
+// TestMetricsScrapeDuringSweep hammers the /metrics endpoint from four
+// scraper goroutines while an 8-worker sweep runs underneath it. Every
+// scrape must return 200 with well-formed exposition text (scrapes see a
+// live Recorder and live cache histograms mid-mutation), and the final
+// scrape must report the finished sweep's stage spans. Run under -race
+// this is the lock-discipline test for the whole DebugSources surface.
+func TestMetricsScrapeDuringSweep(t *testing.T) {
+	caches := core.NewCaches()
+	r := NewRunner(8, caches)
+	r.Obs = obs.NewRecorder()
+
+	addr, err := obs.ServeDebug("127.0.0.1:0", obs.DebugSources{
+		Rec:           r.Obs,
+		Caches:        caches.StatsMap,
+		TierLatencies: caches.TierLatencyMap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + addr + "/metrics"
+
+	scrape := func() string {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Errorf("scrape: %v", err)
+			return ""
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Errorf("scrape: status %d, err %v", resp.StatusCode, err)
+		}
+		return string(body)
+	}
+
+	done := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				body := scrape()
+				// Structural sanity on a mid-sweep snapshot: every
+				// non-comment line is "name{labels} value".
+				for _, line := range strings.Split(body, "\n") {
+					if line == "" || strings.HasPrefix(line, "#") {
+						continue
+					}
+					if !strings.HasPrefix(line, "binpart_") || len(strings.Fields(line)) != 2 {
+						t.Errorf("malformed exposition line %q", line)
+					}
+				}
+			}
+		}()
+	}
+
+	if _, err := r.Table3(); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	scrapers.Wait()
+
+	final := scrape()
+	for _, want := range []string{
+		`binpart_stage_spans_total{stage="sim"}`,
+		`binpart_stage_latency_seconds{stage="sim",quantile="0.99"}`,
+		`binpart_cache_hits_total{cache="sim"}`,
+	} {
+		if !strings.Contains(final, want) {
+			t.Errorf("final scrape missing %q", want)
 		}
 	}
 }

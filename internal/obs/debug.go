@@ -2,51 +2,59 @@ package obs
 
 import (
 	"expvar"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 
 	"binpart/internal/cache"
+	"binpart/internal/obs/hist"
 )
+
+// DebugSources is what the debug listener reads: the live recorder, the
+// per-stage cache counters, the per-tier read-latency histograms, and
+// the client-side remote-peer wire metrics. Every field may be nil —
+// the corresponding metrics are simply absent.
+type DebugSources struct {
+	Rec           *Recorder
+	Caches        func() map[string]cache.Stats
+	TierLatencies func() map[string]map[string]hist.Snapshot
+	Peers         func() []cache.PeerMetrics
+}
 
 // debugSources holds what the expvar callbacks read. Set by ServeDebug;
 // the callbacks are registered once per process (expvar.Publish panics on
 // duplicates) and always read the latest sources.
 var debugSources struct {
-	mu     sync.Mutex
-	rec    *Recorder
-	caches func() map[string]cache.Stats
+	mu  sync.Mutex
+	src DebugSources
 }
 
 var publishOnce sync.Once
 
 // ServeDebug starts an HTTP listener for long sweeps: /debug/vars serves
 // expvar (including binpart.stages, the live per-stage span totals, and
-// binpart.caches, the live cache counters) and /debug/pprof/* serves
-// net/pprof. rec and caches may be nil. Returns the bound address (useful
-// with ":0"); the listener runs until the process exits.
-func ServeDebug(addr string, rec *Recorder, caches func() map[string]cache.Stats) (string, error) {
+// binpart.caches, the live cache counters), /debug/pprof/* serves
+// net/pprof, and /metrics serves the Prometheus text exposition —
+// stage counters and latency summaries, per-tier cache latencies, and
+// per-peer remote wire metrics. Returns the bound address (useful with
+// ":0"); the listener runs until the process exits.
+func ServeDebug(addr string, src DebugSources) (string, error) {
 	debugSources.mu.Lock()
-	debugSources.rec = rec
-	debugSources.caches = caches
+	debugSources.src = src
 	debugSources.mu.Unlock()
 
 	publishOnce.Do(func() {
 		expvar.Publish("binpart.stages", expvar.Func(func() any {
-			debugSources.mu.Lock()
-			r := debugSources.rec
-			debugSources.mu.Unlock()
-			return r.StageTotals()
+			return currentSources().Rec.StageTotals()
 		}))
 		expvar.Publish("binpart.caches", expvar.Func(func() any {
-			debugSources.mu.Lock()
-			f := debugSources.caches
-			debugSources.mu.Unlock()
-			if f == nil {
-				return nil
+			if f := currentSources().Caches; f != nil {
+				return f()
 			}
-			return f()
+			return nil
 		}))
 	})
 
@@ -57,6 +65,10 @@ func ServeDebug(addr string, rec *Recorder, caches func() map[string]cache.Stats
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WriteMetrics(w, currentSources())
+	})
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -64,4 +76,102 @@ func ServeDebug(addr string, rec *Recorder, caches func() map[string]cache.Stats
 	}
 	go http.Serve(ln, mux) //nolint:errcheck // debug listener lives until process exit
 	return ln.Addr().String(), nil
+}
+
+func currentSources() DebugSources {
+	debugSources.mu.Lock()
+	defer debugSources.mu.Unlock()
+	return debugSources.src
+}
+
+// WriteMetrics renders the sweep-side metrics in the Prometheus text
+// exposition format: per-stage span counters, cache-outcome counters,
+// and latency summaries; per-stage per-tier cache read latencies; and
+// per-peer remote wire metrics. The cache server's own /metrics (see
+// cache.Server.WriteMetrics) is the other half of the surface.
+func WriteMetrics(w io.Writer, src DebugSources) {
+	p := hist.NewProm(w)
+	totals := src.Rec.StageTotals()
+	for _, st := range totals {
+		p.Counter("binpart_stage_spans_total", hist.Label("stage", st.Stage), float64(st.Spans))
+	}
+	for _, st := range totals {
+		p.Counter("binpart_stage_wall_seconds_total", hist.Label("stage", st.Stage), float64(st.WallUS)/1e6)
+	}
+	for _, st := range totals {
+		stage := hist.Label("stage", st.Stage)
+		for _, oc := range []struct {
+			name string
+			n    uint64
+		}{
+			{"hit", st.Hit}, {"miss", st.Miss}, {"wait", st.Wait},
+			{"disk", st.Disk}, {"remote", st.Remote}, {"rwait", st.RemoteWait},
+			{"corrupt", st.Corrupt},
+		} {
+			if oc.n > 0 {
+				p.Counter("binpart_stage_cache_outcomes_total",
+					hist.Labels(stage, hist.Label("outcome", oc.name)), float64(oc.n))
+			}
+		}
+	}
+	for _, st := range totals {
+		p.Summary("binpart_stage_latency_seconds", hist.Label("stage", st.Stage), st.Latency)
+	}
+	if src.Caches != nil {
+		stats := src.Caches()
+		names := sortedKeys(stats)
+		// Group by family, not by cache: the exposition format wants
+		// every sample of one family contiguous.
+		for _, name := range names {
+			p.Counter("binpart_cache_hits_total", hist.Label("cache", name), float64(stats[name].Hits))
+		}
+		for _, name := range names {
+			p.Counter("binpart_cache_misses_total", hist.Label("cache", name), float64(stats[name].Misses))
+		}
+		for _, name := range names {
+			p.Counter("binpart_cache_evictions_total", hist.Label("cache", name), float64(stats[name].Evictions))
+		}
+		for _, name := range names {
+			p.Gauge("binpart_cache_entries", hist.Label("cache", name), float64(stats[name].Entries))
+		}
+	}
+	if src.TierLatencies != nil {
+		lats := src.TierLatencies()
+		for _, name := range sortedKeys(lats) {
+			tiers := lats[name]
+			for _, tier := range sortedKeys(tiers) {
+				p.Summary("binpart_cache_tier_latency_seconds",
+					hist.Labels(hist.Label("cache", name), hist.Label("tier", tier)), tiers[tier])
+			}
+		}
+	}
+	if src.Peers != nil {
+		peers := src.Peers()
+		for _, pm := range peers {
+			p.Counter("binpart_remote_peer_ops_total", hist.Label("peer", pm.Addr), float64(pm.Ops))
+		}
+		for _, pm := range peers {
+			p.Counter("binpart_remote_peer_errs_total", hist.Label("peer", pm.Addr), float64(pm.Errs))
+		}
+		for _, pm := range peers {
+			peer := hist.Label("peer", pm.Addr)
+			p.Counter("binpart_remote_peer_bytes_total",
+				hist.Labels(peer, hist.Label("direction", "in")), float64(pm.BytesIn))
+			p.Counter("binpart_remote_peer_bytes_total",
+				hist.Labels(peer, hist.Label("direction", "out")), float64(pm.BytesOut))
+		}
+		for _, pm := range peers {
+			p.Summary("binpart_remote_peer_rtt_seconds", hist.Label("peer", pm.Addr), pm.RTT)
+		}
+	}
+}
+
+// sortedKeys orders a string-keyed map for deterministic exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

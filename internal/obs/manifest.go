@@ -18,6 +18,7 @@ import (
 // reconciles exactly with the stats table of the run that produced it.
 type Manifest struct {
 	Tool    string                 `json:"tool"`
+	Trace   string                 `json:"trace,omitempty"`
 	Args    []string               `json:"args,omitempty"`
 	Go      string                 `json:"go"`
 	OS      string                 `json:"os"`
@@ -45,6 +46,7 @@ func BuildManifest(tool string, args []string, workers int, rec *Recorder, cache
 		Caches:  caches,
 	}
 	if rec != nil {
+		m.Trace = rec.TraceID()
 		m.Start = rec.epoch
 		m.WallUS = time.Since(rec.epoch).Microseconds()
 		m.Stages = rec.StageTotals()

@@ -20,6 +20,8 @@ package obs
 
 import (
 	"bufio"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"binpart/internal/cache"
+	"binpart/internal/obs/hist"
 )
 
 // Canonical stage names. The pipeline emits exactly these; the table and
@@ -164,6 +167,8 @@ type Recorder struct {
 	epoch time.Time
 
 	mu        sync.Mutex
+	traceID   string
+	proc      string
 	spans     []Span
 	bw        *bufio.Writer
 	enc       *json.Encoder
@@ -173,6 +178,53 @@ type Recorder struct {
 // NewRecorder starts a recorder; its epoch is the creation time.
 func NewRecorder() *Recorder {
 	return &Recorder{epoch: time.Now()}
+}
+
+// NewTraceID mints a random 128-bit run/trace identifier as lowercase
+// hex. The parent of a distributed sweep mints one and hands it to every
+// worker process, so all their spans tag into one coherent trace.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to a time-derived ID rather than an empty one.
+		return fmt.Sprintf("t%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SetTrace tags every subsequently emitted span (and the stream's meta
+// header) with a trace ID and a process label. proc is "" in a
+// single-process run and "k/N" in shard k of a distributed sweep. Call
+// before StreamTo.
+func (r *Recorder) SetTrace(traceID, proc string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traceID = traceID
+	r.proc = proc
+	r.mu.Unlock()
+}
+
+// EpochUnixMicro is the recorder's absolute epoch — what span StartUS
+// offsets are relative to. The distributed merge uses it to place this
+// process's spans on the combined timeline. 0 on a nil recorder.
+func (r *Recorder) EpochUnixMicro() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.epoch.UnixMicro()
+}
+
+// TraceID returns the tag set by SetTrace ("" when untagged).
+func (r *Recorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceID
 }
 
 // Scope returns span attribution for one sweep point. bench may be a
@@ -187,8 +239,10 @@ func (r *Recorder) Scope(bench string, level, worker int) *Scope {
 }
 
 // StreamTo mirrors every span to w as one JSON object per line, in
-// emission order (see spanJSON for the schema). Call before the run
-// starts; finish with Flush.
+// emission order (see SpanRecord for the schema). The stream opens with
+// one TraceMeta header line carrying the trace ID, process label, and
+// absolute epoch — what the distributed merge needs to align worker
+// timelines. Call before the run starts; finish with Flush.
 func (r *Recorder) StreamTo(w io.Writer) {
 	if r == nil {
 		return
@@ -196,6 +250,37 @@ func (r *Recorder) StreamTo(w io.Writer) {
 	r.mu.Lock()
 	r.bw = bufio.NewWriter(w)
 	r.enc = json.NewEncoder(r.bw)
+	r.encodeLocked(TraceMeta{
+		Meta:        MetaTrace,
+		Trace:       r.traceID,
+		Proc:        r.proc,
+		EpochUnixUS: r.epoch.UnixMicro(),
+	})
+	r.mu.Unlock()
+}
+
+// encodeLocked writes one JSON line to the stream, recording the first
+// error. Callers hold r.mu.
+func (r *Recorder) encodeLocked(v any) {
+	if r.enc == nil {
+		return
+	}
+	if err := r.enc.Encode(v); err != nil && r.streamErr == nil {
+		r.streamErr = err
+	}
+}
+
+// EmitCaches appends a cache-accounting meta line to the stream: the
+// same per-stage counter snapshot the -stats table prints. A worker of
+// a distributed sweep emits it as the trace's trailer so the parent can
+// reconcile merged span counts against summed per-tier cache stats
+// without a side channel. No-op when not streaming.
+func (r *Recorder) EmitCaches(stats map[string]cache.Stats) {
+	if r == nil || stats == nil {
+		return
+	}
+	r.mu.Lock()
+	r.encodeLocked(TraceMeta{Meta: MetaCaches, Caches: stats})
 	r.mu.Unlock()
 }
 
@@ -214,13 +299,36 @@ func (r *Recorder) Flush() error {
 	return r.streamErr
 }
 
-// spanJSON is the trace line schema. Durations are integer microseconds:
-// stable to diff, trivial to load into anything.
-type spanJSON struct {
+// Trace meta line kinds (the TraceMeta.Meta field).
+const (
+	// MetaTrace is the stream header: trace ID, process label, epoch.
+	MetaTrace = "trace"
+	// MetaCaches is the accounting trailer: per-stage cache counters.
+	MetaCaches = "caches"
+)
+
+// TraceMeta is the schema of the non-span lines in a trace stream. A
+// line is a meta line iff its "meta" field is non-empty; everything else
+// is a SpanRecord. Readers that predate a given meta kind skip it.
+type TraceMeta struct {
+	Meta        string                 `json:"meta"`
+	Trace       string                 `json:"trace,omitempty"`
+	Proc        string                 `json:"proc,omitempty"`
+	EpochUnixUS int64                  `json:"epoch_unix_us,omitempty"`
+	Caches      map[string]cache.Stats `json:"caches,omitempty"`
+}
+
+// SpanRecord is the trace line schema. Durations are integer
+// microseconds: stable to diff, trivial to load into anything. Trace
+// and Proc repeat the stream header's tags on every line so a merged
+// trace stays self-describing span by span.
+type SpanRecord struct {
 	Stage    string `json:"stage"`
 	Bench    string `json:"bench,omitempty"`
 	Level    int    `json:"opt"`
 	Worker   int    `json:"worker"`
+	Trace    string `json:"trace,omitempty"`
+	Proc     string `json:"proc,omitempty"`
 	StartUS  int64  `json:"start_us"`
 	DurUS    int64  `json:"dur_us"`
 	Cache    string `json:"cache,omitempty"`
@@ -230,12 +338,16 @@ type spanJSON struct {
 	Selected uint64 `json:"selected,omitempty"`
 }
 
-func (s *Span) toJSON() spanJSON {
-	return spanJSON{
+// toRecord renders a span for the trace stream, tagged with the
+// recorder's trace context. Callers hold r.mu.
+func (r *Recorder) toRecord(s *Span) SpanRecord {
+	return SpanRecord{
 		Stage:    s.Stage,
 		Bench:    s.Bench,
 		Level:    s.Level,
 		Worker:   s.Worker,
+		Trace:    r.traceID,
+		Proc:     r.proc,
 		StartUS:  s.Start.Microseconds(),
 		DurUS:    s.Dur.Microseconds(),
 		Cache:    s.Outcome.String(),
@@ -250,11 +362,25 @@ func (r *Recorder) emit(sp Span) {
 	r.mu.Lock()
 	r.spans = append(r.spans, sp)
 	if r.enc != nil {
-		if err := r.enc.Encode(sp.toJSON()); err != nil && r.streamErr == nil {
-			r.streamErr = err
-		}
+		r.encodeLocked(r.toRecord(&sp))
 	}
 	r.mu.Unlock()
+}
+
+// Records renders every recorded span as its trace-line form, tagged
+// with the recorder's trace context — what the distributed merge feeds
+// alongside the worker files.
+func (r *Recorder) Records() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, len(r.spans))
+	for i := range r.spans {
+		out[i] = r.toRecord(&r.spans[i])
+	}
+	return out
 }
 
 // Spans returns a snapshot copy of every span recorded so far.
@@ -270,64 +396,81 @@ func (r *Recorder) Spans() []Span {
 }
 
 // StageTotal aggregates every span of one stage: span count, total wall
-// time, cache outcomes, and counter sums.
+// time, latency percentiles, cache outcomes, and counter sums. The
+// percentiles are bucket upper bounds of the stage's fixed log-bucketed
+// latency histogram (see internal/obs/hist), so aggregating a merged
+// distributed trace yields exactly the percentiles of the concatenated
+// worker samples.
 type StageTotal struct {
-	Stage      string `json:"stage"`
-	Spans      int    `json:"spans"`
-	WallUS     int64  `json:"wall_us"`
-	Hit        uint64 `json:"hit"`
-	Miss       uint64 `json:"miss"`
-	Wait       uint64 `json:"wait"`
-	Disk       uint64 `json:"disk"`
-	Remote     uint64 `json:"remote"`
-	RemoteWait uint64 `json:"rwait"`
-	Corrupt    uint64 `json:"corrupt"`
-	Instrs     uint64 `json:"instrs,omitempty"`
-	Regions    uint64 `json:"regions,omitempty"`
-	Selected   uint64 `json:"selected,omitempty"`
+	Stage      string        `json:"stage"`
+	Spans      int           `json:"spans"`
+	WallUS     int64         `json:"wall_us"`
+	P50US      int64         `json:"p50_us,omitempty"`
+	P90US      int64         `json:"p90_us,omitempty"`
+	P99US      int64         `json:"p99_us,omitempty"`
+	Hit        uint64        `json:"hit"`
+	Miss       uint64        `json:"miss"`
+	Wait       uint64        `json:"wait"`
+	Disk       uint64        `json:"disk"`
+	Remote     uint64        `json:"remote"`
+	RemoteWait uint64        `json:"rwait"`
+	Corrupt    uint64        `json:"corrupt"`
+	Instrs     uint64        `json:"instrs,omitempty"`
+	Regions    uint64        `json:"regions,omitempty"`
+	Selected   uint64        `json:"selected,omitempty"`
+	Latency    hist.Snapshot `json:"-"`
 }
 
-// StageTotals aggregates the recorded spans per stage, in pipeline order
-// (unknown stages after, by name). A nil recorder returns nil.
-func (r *Recorder) StageTotals() []StageTotal {
-	if r == nil {
-		return nil
+// countOutcome routes a span's cache-outcome string to its StageTotal
+// counter. The strings are cache.Outcome.String() values; counting by
+// string keeps merged traces (which only have the JSONL form)
+// aggregatable by the same code as live spans.
+func (st *StageTotal) countOutcome(outcome string) {
+	switch outcome {
+	case "hit":
+		st.Hit++
+	case "miss":
+		st.Miss++
+	case "wait":
+		st.Wait++
+	case "disk":
+		st.Disk++
+	case "remote":
+		st.Remote++
+	case "rwait":
+		st.RemoteWait++
+	case "corrupt":
+		st.Corrupt++
 	}
-	r.mu.Lock()
+}
+
+// AggregateRecords folds trace lines into per-stage totals, in pipeline
+// order (unknown stages after, by name). It serves both the live
+// recorder (via StageTotals) and merged distributed traces, which exist
+// only in SpanRecord form.
+func AggregateRecords(records []SpanRecord) []StageTotal {
 	byStage := map[string]*StageTotal{}
-	for i := range r.spans {
-		sp := &r.spans[i]
+	for i := range records {
+		sp := &records[i]
 		st := byStage[sp.Stage]
 		if st == nil {
 			st = &StageTotal{Stage: sp.Stage}
 			byStage[sp.Stage] = st
 		}
 		st.Spans++
-		st.WallUS += sp.Dur.Microseconds()
-		switch sp.Outcome {
-		case cache.OutcomeHit:
-			st.Hit++
-		case cache.OutcomeMiss:
-			st.Miss++
-		case cache.OutcomeWait:
-			st.Wait++
-		case cache.OutcomeDisk:
-			st.Disk++
-		case cache.OutcomeRemote:
-			st.Remote++
-		case cache.OutcomeRemoteWait:
-			st.RemoteWait++
-		case cache.OutcomeCorrupt:
-			st.Corrupt++
-		}
+		st.WallUS += sp.DurUS
+		st.Latency.Observe(time.Duration(sp.DurUS) * time.Microsecond)
+		st.countOutcome(sp.Cache)
 		st.Instrs += sp.Instrs
 		st.Regions += sp.Regions
 		st.Selected += sp.Selected
 	}
-	r.mu.Unlock()
 
 	out := make([]StageTotal, 0, len(byStage))
 	for _, st := range byStage {
+		st.P50US = st.Latency.QuantileUS(0.50)
+		st.P90US = st.Latency.QuantileUS(0.90)
+		st.P99US = st.Latency.QuantileUS(0.99)
 		out = append(out, *st)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -345,18 +488,33 @@ func (r *Recorder) StageTotals() []StageTotal {
 	return out
 }
 
+// StageTotals aggregates the recorded spans per stage, in pipeline order
+// (unknown stages after, by name). A nil recorder returns nil.
+func (r *Recorder) StageTotals() []StageTotal {
+	if r == nil {
+		return nil
+	}
+	return AggregateRecords(r.Records())
+}
+
 // Table renders the per-stage aggregation as the -stats text table.
 func (r *Recorder) Table() string {
 	if r == nil {
 		return "obs: disabled\n"
 	}
-	totals := r.StageTotals()
+	return FormatStageTable(r.StageTotals())
+}
+
+// FormatStageTable renders stage totals as the -stats text table; the
+// trace-merge path reuses it for the merged view.
+func FormatStageTable(totals []StageTotal) string {
 	var b strings.Builder
-	b.WriteString("obs    stage     spans   wall(ms)    hit   miss   wait   disk remote  rwait corrupt\n")
+	b.WriteString("obs    stage     spans   wall(ms)  p50(us)  p90(us)  p99(us)    hit   miss   wait   disk remote  rwait corrupt\n")
 	var instrs, regions, selected uint64
 	for _, st := range totals {
-		fmt.Fprintf(&b, "obs    %-8s %6d %10.1f %6d %6d %6d %6d %6d %6d %7d\n",
+		fmt.Fprintf(&b, "obs    %-8s %6d %10.1f %8d %8d %8d %6d %6d %6d %6d %6d %6d %7d\n",
 			st.Stage, st.Spans, float64(st.WallUS)/1e3,
+			st.P50US, st.P90US, st.P99US,
 			st.Hit, st.Miss, st.Wait, st.Disk, st.Remote, st.RemoteWait, st.Corrupt)
 		instrs += st.Instrs
 		regions += st.Regions

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"binpart/internal/cache"
+	"binpart/internal/obs/hist"
 )
 
 // TestNilDisabledPath checks the whole disabled surface: a nil recorder
@@ -125,10 +127,12 @@ func TestSpanRecordingAndAggregation(t *testing.T) {
 	}
 }
 
-// TestStreamJSONL checks the -trace surface: one JSON object per span, in
-// emission order, with the documented field names.
+// TestStreamJSONL checks the -trace surface: a meta header line carrying
+// the trace context, then one JSON object per span, in emission order,
+// with the documented field names.
 func TestStreamJSONL(t *testing.T) {
 	rec := NewRecorder()
+	rec.SetTrace("deadbeef", "0/2")
 	var buf bytes.Buffer
 	rec.StreamTo(&buf)
 
@@ -143,21 +147,38 @@ func TestStreamJSONL(t *testing.T) {
 	}
 
 	scanner := bufio.NewScanner(&buf)
-	n := 0
+	n, metas := 0, 0
 	for scanner.Scan() {
 		var line struct {
+			Meta   string `json:"meta"`
 			Stage  string `json:"stage"`
 			Bench  string `json:"bench"`
 			Level  int    `json:"opt"`
 			Worker int    `json:"worker"`
+			Trace  string `json:"trace"`
+			Proc   string `json:"proc"`
+			Epoch  int64  `json:"epoch_unix_us"`
 			Cache  string `json:"cache"`
 			DurUS  *int64 `json:"dur_us"`
 		}
 		if err := json.Unmarshal(scanner.Bytes(), &line); err != nil {
 			t.Fatalf("line %d: %v", n, err)
 		}
+		if line.Meta != "" {
+			if metas != 0 || n != 0 {
+				t.Errorf("meta line %q after %d spans, want exactly one header", line.Meta, n)
+			}
+			if line.Meta != MetaTrace || line.Trace != "deadbeef" || line.Proc != "0/2" || line.Epoch == 0 {
+				t.Errorf("bad stream header: %+v", line)
+			}
+			metas++
+			continue
+		}
 		if line.Stage != StageSynth || line.Bench != "fir" || line.Level != 1 || line.Worker != 3 {
 			t.Errorf("line %d attribution: %+v", n, line)
+		}
+		if line.Trace != "deadbeef" || line.Proc != "0/2" {
+			t.Errorf("line %d trace tags: %+v", n, line)
 		}
 		if line.Cache != "miss" {
 			t.Errorf("line %d cache = %q, want miss", n, line.Cache)
@@ -167,8 +188,8 @@ func TestStreamJSONL(t *testing.T) {
 		}
 		n++
 	}
-	if n != 5 {
-		t.Errorf("streamed %d lines, want 5", n)
+	if metas != 1 || n != 5 {
+		t.Errorf("streamed %d meta + %d span lines, want 1 + 5", metas, n)
 	}
 }
 
@@ -231,16 +252,29 @@ func TestBuildManifestNil(t *testing.T) {
 }
 
 // TestServeDebug smoke-tests the -debug-addr listener: expvar must serve
-// the live per-stage totals and cache counters.
+// the live per-stage totals and cache counters, and /metrics the
+// Prometheus exposition with stage, tier, and peer series.
 func TestServeDebug(t *testing.T) {
 	rec := NewRecorder()
 	sp := rec.Scope("fir", 0, 0).Start(StageSim)
 	sp.End()
 
-	statsFn := func() map[string]cache.Stats {
-		return map[string]cache.Stats{"sim": {Hits: 7}}
-	}
-	addr, err := ServeDebug("127.0.0.1:0", rec, statsFn)
+	addr, err := ServeDebug("127.0.0.1:0", DebugSources{
+		Rec: rec,
+		Caches: func() map[string]cache.Stats {
+			return map[string]cache.Stats{"sim": {Hits: 7}}
+		},
+		TierLatencies: func() map[string]map[string]hist.Snapshot {
+			var s hist.Snapshot
+			s.Observe(3 * time.Millisecond)
+			return map[string]map[string]hist.Snapshot{"sim": {"disk": s}}
+		},
+		Peers: func() []cache.PeerMetrics {
+			var rtt hist.Snapshot
+			rtt.Observe(time.Millisecond)
+			return []cache.PeerMetrics{{Addr: "127.0.0.1:9736", Ops: 3, RTT: rtt}}
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,6 +296,30 @@ func TestServeDebug(t *testing.T) {
 	}
 	if vars.Caches["sim"].Hits != 7 {
 		t.Errorf("expvar caches = %+v", vars.Caches)
+	}
+
+	mresp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`binpart_stage_spans_total{stage="sim"} 1`,
+		`binpart_cache_hits_total{cache="sim"} 7`,
+		`binpart_stage_latency_seconds{stage="sim",quantile="0.5"}`,
+		`binpart_stage_latency_seconds{stage="sim",quantile="0.95"}`,
+		`binpart_stage_latency_seconds{stage="sim",quantile="0.99"}`,
+		`binpart_cache_tier_latency_seconds{cache="sim",tier="disk",quantile="0.99"}`,
+		`binpart_remote_peer_ops_total{peer="127.0.0.1:9736"} 3`,
+		`binpart_remote_peer_rtt_seconds{peer="127.0.0.1:9736",quantile="0.5"}`,
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
 	}
 }
 

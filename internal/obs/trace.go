@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"binpart/internal/cache"
+)
+
+// TraceWriter is the sink behind -trace: a file, gzip-compressed when the
+// path ends in ".gz" (merged distributed traces get large). Stream spans
+// into Writer(), then Close — which flushes every layer and reports the
+// first error, so a full disk surfaces as a nonzero exit instead of a
+// silently truncated trace.
+type TraceWriter struct {
+	f  *os.File
+	gz *gzip.Writer
+	w  io.Writer
+}
+
+// CreateTrace opens path for trace output, stacking a gzip layer when the
+// path ends in ".gz".
+func CreateTrace(path string) (*TraceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	tw := &TraceWriter{f: f, w: f}
+	if strings.HasSuffix(path, ".gz") {
+		tw.gz = gzip.NewWriter(f)
+		tw.w = tw.gz
+	}
+	return tw, nil
+}
+
+// Writer is the stream to hand to Recorder.StreamTo.
+func (t *TraceWriter) Writer() io.Writer { return t.w }
+
+// Close flushes the gzip layer (if any) and the file, reporting the
+// first error.
+func (t *TraceWriter) Close() error {
+	var first error
+	if t.gz != nil {
+		if err := t.gz.Close(); err != nil {
+			first = err
+		}
+	}
+	if err := t.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// TraceFile is one parsed trace stream: the header tags, every span, and
+// the cache-accounting trailer (nil when the producer emitted none).
+type TraceFile struct {
+	Trace       string
+	Proc        string
+	EpochUnixUS int64
+	Spans       []SpanRecord
+	Caches      map[string]cache.Stats
+}
+
+// ReadTrace parses a trace file written by StreamTo/EmitCaches,
+// transparently ungzipping when the path ends in ".gz". Unknown meta
+// kinds are skipped, so readers stay compatible with newer producers.
+func ReadTrace(path string) (*TraceFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	tf, err := parseTrace(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tf, nil
+}
+
+func parseTrace(r io.Reader) (*TraceFile, error) {
+	tf := &TraceFile{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		// Meta lines carry a non-empty "meta" field; everything else is
+		// a span. Peek cheaply before committing to a schema.
+		var probe struct {
+			Meta string `json:"meta"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("bad trace line: %w", err)
+		}
+		if probe.Meta == "" {
+			var sp SpanRecord
+			if err := json.Unmarshal(line, &sp); err != nil {
+				return nil, fmt.Errorf("bad span line: %w", err)
+			}
+			tf.Spans = append(tf.Spans, sp)
+			continue
+		}
+		var meta TraceMeta
+		if err := json.Unmarshal(line, &meta); err != nil {
+			return nil, fmt.Errorf("bad meta line: %w", err)
+		}
+		switch meta.Meta {
+		case MetaTrace:
+			tf.Trace = meta.Trace
+			tf.Proc = meta.Proc
+			tf.EpochUnixUS = meta.EpochUnixUS
+		case MetaCaches:
+			tf.Caches = mergeCacheStats(tf.Caches, meta.Caches)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tf, nil
+}
+
+// mergeCacheStats sums b into a per stage key. Entries/Evictions are
+// per-process gauges of independent memories, so they sum too: the
+// merged view is "across all processes of the run".
+func mergeCacheStats(a, b map[string]cache.Stats) map[string]cache.Stats {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		a = map[string]cache.Stats{}
+	}
+	for k, s := range b {
+		t := a[k]
+		t.Hits += s.Hits
+		t.Misses += s.Misses
+		t.Evictions += s.Evictions
+		t.DiskHits += s.DiskHits
+		t.RemoteHits += s.RemoteHits
+		t.RemoteWaits += s.RemoteWaits
+		t.Waits += s.Waits
+		t.Corrupt += s.Corrupt
+		t.Entries += s.Entries
+		a[k] = t
+	}
+	return a
+}
+
+// MergeTraces combines the parent's trace with every worker's into one
+// coherent run trace: worker span timestamps are realigned from their
+// process epoch onto the earliest epoch, spans are tagged with their
+// process label, cache accounting is summed, and the result is sorted by
+// adjusted start time. Every part must carry the same non-empty trace ID
+// — a mismatch means the caller merged files from different runs.
+func MergeTraces(parts []*TraceFile) (*TraceFile, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("merge: no trace parts")
+	}
+	trace := parts[0].Trace
+	if trace == "" {
+		return nil, fmt.Errorf("merge: part %q has no trace ID", parts[0].Proc)
+	}
+	epoch := parts[0].EpochUnixUS
+	for _, p := range parts[1:] {
+		if p.Trace != trace {
+			return nil, fmt.Errorf("merge: trace ID mismatch: %q (proc %q) vs %q", p.Trace, p.Proc, trace)
+		}
+		if p.EpochUnixUS < epoch {
+			epoch = p.EpochUnixUS
+		}
+	}
+
+	merged := &TraceFile{Trace: trace, EpochUnixUS: epoch}
+	for _, p := range parts {
+		shift := p.EpochUnixUS - epoch
+		for _, sp := range p.Spans {
+			sp.StartUS += shift
+			if sp.Trace == "" {
+				sp.Trace = trace
+			}
+			if sp.Proc == "" {
+				sp.Proc = p.Proc
+			}
+			merged.Spans = append(merged.Spans, sp)
+		}
+		merged.Caches = mergeCacheStats(merged.Caches, p.Caches)
+	}
+	sort.SliceStable(merged.Spans, func(i, j int) bool {
+		return merged.Spans[i].StartUS < merged.Spans[j].StartUS
+	})
+	return merged, nil
+}
+
+// Write serializes the trace file back to the stream format: header meta
+// line, spans in order, cache trailer.
+func (tf *TraceFile) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(TraceMeta{Meta: MetaTrace, Trace: tf.Trace, Proc: tf.Proc, EpochUnixUS: tf.EpochUnixUS}); err != nil {
+		return err
+	}
+	for i := range tf.Spans {
+		if err := enc.Encode(&tf.Spans[i]); err != nil {
+			return err
+		}
+	}
+	if tf.Caches != nil {
+		if err := enc.Encode(TraceMeta{Meta: MetaCaches, Caches: tf.Caches}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the trace to path via TraceWriter (gzipped for .gz).
+func (tf *TraceFile) WriteFile(path string) error {
+	tw, err := CreateTrace(path)
+	if err != nil {
+		return err
+	}
+	if err := tf.Write(tw.Writer()); err != nil {
+		tw.Close()
+		return err
+	}
+	return tw.Close()
+}
+
+// CacheForStage maps a span stage to the key its stage cache reports
+// under in Stats maps ("" for stages with no cache). The analysis cache
+// predates the span layer and kept its longer name.
+var CacheForStage = map[string]string{
+	StageAnalyze: "analysis",
+	StageCompile: "compile",
+	StageSim:     "sim",
+	StageLift:    "lift",
+	StageSynth:   "synth",
+}
+
+// Reconcile checks the trace's span outcomes against its cache
+// accounting: for every stage with a cache, spans tagged
+// hit+wait+disk+remote+rwait must equal the cache's Hits, and
+// miss+corrupt its Misses. The invariant holds per process and is
+// preserved by summation, so it must also hold for a merged distributed
+// trace — a mismatch means spans or stats were dropped in flight.
+func (tf *TraceFile) Reconcile() error {
+	if tf.Caches == nil {
+		return fmt.Errorf("reconcile: trace has no cache accounting trailer")
+	}
+	totals := AggregateRecords(tf.Spans)
+	var problems []string
+	for _, st := range totals {
+		key := CacheForStage[st.Stage]
+		if key == "" {
+			continue
+		}
+		cs, ok := tf.Caches[key]
+		if !ok {
+			continue
+		}
+		if got, want := st.Hit+st.Wait+st.Disk+st.Remote+st.RemoteWait, cs.Hits; got != want {
+			problems = append(problems, fmt.Sprintf("%s: span hits %d != cache hits %d", st.Stage, got, want))
+		}
+		if got, want := st.Miss+st.Corrupt, cs.Misses; got != want {
+			problems = append(problems, fmt.Sprintf("%s: span misses %d != cache misses %d", st.Stage, got, want))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("reconcile: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}

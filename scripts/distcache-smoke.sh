@@ -1,10 +1,14 @@
 #!/bin/sh
 # Distributed shared-cache smoke: one cache shard server plus two worker
 # processes over localhost, cold cache, full T1 sweep. Asserts the
-# distributed table is byte-identical to a serial run and that the
+# distributed table is byte-identical to a serial run, that the
 # launcher's final sweep was actually served by the shard server
-# (remote hits > 0 in the run manifest). The server's per-tier counters
-# and the parent's manifest land in $DISTCACHE_OUT as artifacts.
+# (remote hits > 0 in the run manifest), that the server's /metrics
+# endpoint answers Prometheus text mid-run, and that the merged trace
+# carries every worker's spans under the parent's trace ID with cache
+# accounting that reconciles. The server's per-tier counters, the
+# scraped metrics, the merged trace, and the parent's manifest land in
+# $DISTCACHE_OUT as artifacts.
 set -eu
 
 OUT=${DISTCACHE_OUT:-/tmp/binpart-distcache}
@@ -14,30 +18,91 @@ mkdir -p "$OUT"
 BIN="$OUT/experiments"
 go build -o "$BIN" ./cmd/experiments
 
-"$BIN" -cache-serve 127.0.0.1:0 -cache-addr-file "$OUT/addr" 2>"$OUT/server.log" &
+"$BIN" -cache-serve 127.0.0.1:0 -cache-addr-file "$OUT/addr" \
+    -cache-metrics-addr 127.0.0.1:0 -cache-metrics-addr-file "$OUT/maddr" \
+    2>"$OUT/server.log" &
 SERVER=$!
 trap 'kill "$SERVER" 2>/dev/null || true' EXIT
 
 i=0
-while [ ! -s "$OUT/addr" ]; do
+while [ ! -s "$OUT/addr" ] || [ ! -s "$OUT/maddr" ]; do
     i=$((i + 1))
     if [ "$i" -gt 100 ]; then
-        echo "distcache-smoke: server never wrote its bound address" >&2
+        echo "distcache-smoke: server never wrote its bound addresses" >&2
         cat "$OUT/server.log" >&2
         exit 1
     fi
     sleep 0.1
 done
 ADDR=$(cat "$OUT/addr")
-echo "distcache-smoke: cache server on $ADDR"
+MADDR=$(cat "$OUT/maddr")
+echo "distcache-smoke: cache server on $ADDR, metrics on $MADDR"
 
 "$BIN" -table 1 -j 4 >"$OUT/t1-serial.txt"
 
 "$BIN" -table 1 -j 4 -dist 2 -remote-cache "$ADDR" \
-    -manifest "$OUT/manifest.json" >"$OUT/t1-dist.txt"
+    -manifest "$OUT/manifest.json" -trace-merge "$OUT/trace.jsonl" \
+    >"$OUT/t1-dist.txt" 2>"$OUT/dist.log" &
+DIST=$!
+
+# Scrape the server's /metrics while the sweep is in flight: the
+# exposition endpoint must answer without disturbing the wire protocol.
+"$BIN" -scrape "http://$MADDR/metrics" >"$OUT/metrics-midrun.txt"
+if ! grep -q '^binpart_cache_server_' "$OUT/metrics-midrun.txt"; then
+    echo "distcache-smoke: mid-run scrape returned no server metrics" >&2
+    cat "$OUT/metrics-midrun.txt" >&2
+    exit 1
+fi
+
+if ! wait "$DIST"; then
+    echo "distcache-smoke: distributed run failed" >&2
+    cat "$OUT/dist.log" >&2
+    exit 1
+fi
+cat "$OUT/dist.log" >&2
 
 if ! diff "$OUT/t1-serial.txt" "$OUT/t1-dist.txt"; then
     echo "distcache-smoke: distributed T1 differs from the serial run" >&2
+    exit 1
+fi
+
+# The merged trace must announce itself reconciled: every stage's span
+# outcomes summed across parent and workers matched the summed cache
+# counters, or the parent would have exited nonzero above.
+if ! grep -q 'reconciled into' "$OUT/dist.log"; then
+    echo "distcache-smoke: no trace-merge reconciliation message" >&2
+    exit 1
+fi
+
+# Every span in the merged trace carries the same (parent-minted) trace
+# ID, and all three processes contributed spans.
+TRACE=$(sed -n 's/.*"meta":"trace".*"trace":"\([0-9a-f]*\)".*/\1/p' "$OUT/trace.jsonl" | head -1)
+if [ -z "$TRACE" ]; then
+    echo "distcache-smoke: merged trace has no trace header" >&2
+    exit 1
+fi
+if grep '"stage"' "$OUT/trace.jsonl" | grep -qv "\"trace\":\"$TRACE\""; then
+    echo "distcache-smoke: merged trace contains spans outside trace $TRACE" >&2
+    exit 1
+fi
+for proc in parent 0/2 1/2; do
+    if ! grep -q "\"proc\":\"$proc\"" "$OUT/trace.jsonl"; then
+        echo "distcache-smoke: merged trace has no spans from proc $proc" >&2
+        exit 1
+    fi
+done
+echo "distcache-smoke: merged trace $TRACE spans all procs and reconciles"
+
+# The workers announced the run's trace ID over the wire: the final
+# scrape shows exactly one distinct trace and the hello count.
+"$BIN" -scrape "http://$MADDR/metrics" >"$OUT/metrics-final.txt"
+if ! grep -q '^binpart_cache_server_traces 1$' "$OUT/metrics-final.txt"; then
+    echo "distcache-smoke: server saw wrong trace count" >&2
+    grep '^binpart_cache_server_\(traces\|hellos\)' "$OUT/metrics-final.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q '^binpart_cache_server_op_latency_seconds{op="claim",quantile="0.99"}' "$OUT/metrics-final.txt"; then
+    echo "distcache-smoke: no op latency quantiles in final scrape" >&2
     exit 1
 fi
 
