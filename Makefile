@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench experiments obs-smoke corpus-smoke engine-smoke distcache-smoke
+.PHONY: build test race vet check bench experiments obs-smoke corpus-smoke engine-smoke distcache-smoke bpartd-smoke
 
 build:
 	$(GO) build ./...
@@ -56,7 +56,16 @@ engine-smoke:
 distcache-smoke:
 	sh scripts/distcache-smoke.sh
 
-check: vet build test race obs-smoke corpus-smoke engine-smoke distcache-smoke
+# The partitioning daemon end to end over a real process: priced
+# partition + streamed sweep over HTTP, ops /metrics scrape, sustained
+# load above 1000 req/s on the warm Analysis cache, then SIGTERM under
+# load asserting the clean-drain contract (exit 0, reconciled trace,
+# un-interrupted manifest, addr files removed). Artifacts land in
+# /tmp/binpart-bpartd.
+bpartd-smoke:
+	sh scripts/bpartd-smoke.sh
+
+check: vet build test race obs-smoke corpus-smoke engine-smoke distcache-smoke bpartd-smoke
 
 # Runs every benchmark and distills the results (per-stage ns/op plus the
 # T1 headline custom metrics) into BENCH.json via cmd/benchjson. The text

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"binpart/internal/obs/hist"
+)
+
+// clientGet fetches a URL and prints the body — curl-free scraping for
+// the smoke script.
+func clientGet(url string) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpartd:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "bpartd:", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "bpartd: %s: %s\n", url, resp.Status)
+		return 1
+	}
+	return 0
+}
+
+// clientPost posts a JSON body (a literal string, or @file) and prints
+// the response — both the single-object /v1/partition reply and the
+// ndjson /v1/sweep stream copy through unchanged.
+func clientPost(url, data string) int {
+	body := []byte(data)
+	if strings.HasPrefix(data, "@") {
+		b, err := os.ReadFile(data[1:])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bpartd:", err)
+			return 1
+		}
+		body = b
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpartd:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "bpartd:", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "bpartd: %s: %s\n", url, resp.Status)
+		return 1
+	}
+	return 0
+}
+
+type loadgenConfig struct {
+	url    string
+	bench  string
+	opt    int
+	conns  int
+	dur    time.Duration
+	minRPS float64
+}
+
+// runLoadgen drives sustained closed-loop load at a /v1/partition URL:
+// conns goroutines each posting the same request back to back for dur,
+// latencies recorded in a shared histogram. On a warm Analysis cache
+// every request is priced from memoized stages, which is what makes
+// four connections worth of back-to-back POSTs sustain four digits of
+// req/s on one box.
+func runLoadgen(cfg loadgenConfig) int {
+	if cfg.conns < 1 {
+		cfg.conns = 1
+	}
+	body, _ := json.Marshal(apiRequest{Bench: cfg.bench, Opt: cfg.opt})
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.conns,
+			MaxIdleConnsPerHost: cfg.conns,
+		},
+	}
+
+	var (
+		h        hist.Histogram
+		requests atomic.Uint64
+		errs     atomic.Uint64
+		firstErr atomic.Value
+	)
+	deadline := time.Now().Add(cfg.dur)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				resp, err := client.Post(cfg.url, "application/json", bytes.NewReader(body))
+				if err == nil {
+					_, cerr := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if cerr != nil {
+						err = cerr
+					} else if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("status %s", resp.Status)
+					}
+				}
+				requests.Add(1)
+				if err != nil {
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				h.Record(time.Since(start))
+			}
+		}()
+	}
+	started := time.Now()
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	n := requests.Load()
+	rps := float64(n) / elapsed.Seconds()
+	s := h.Snapshot()
+	fmt.Printf("loadgen: %d requests in %.2fs = %.1f req/s (%d errors, %d conns)\n",
+		n, elapsed.Seconds(), rps, errs.Load(), cfg.conns)
+	fmt.Printf("latency: p50 %dus  p90 %dus  p99 %dus\n",
+		s.QuantileUS(0.50), s.QuantileUS(0.90), s.QuantileUS(0.99))
+
+	if e := errs.Load(); e > 0 {
+		fmt.Fprintf(os.Stderr, "bpartd: loadgen: %d/%d requests failed (first: %v)\n", e, n, firstErr.Load())
+		return 1
+	}
+	if cfg.minRPS > 0 && rps < cfg.minRPS {
+		fmt.Fprintf(os.Stderr, "bpartd: loadgen: %.1f req/s below the %.1f floor\n", rps, cfg.minRPS)
+		return 1
+	}
+	return 0
+}

@@ -33,7 +33,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -169,7 +168,7 @@ func main() {
 		rec.StreamTo(tw.Writer())
 	}
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr, obs.DebugSources{
+		dbg, err := obs.ServeDebug(*debugAddr, obs.DebugSources{
 			Rec:           rec,
 			Caches:        caches.StatsMap,
 			TierLatencies: caches.TierLatencyMap,
@@ -183,7 +182,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/vars (metrics on /metrics)\n", addr)
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/vars (metrics on /metrics)\n", dbg.Addr())
 	}
 
 	paths := flag.Args()
@@ -272,23 +272,16 @@ func sweepOne(path string, opts core.Options, caches *core.Caches,
 	if multi {
 		fmt.Fprintf(&b, "==> %s\n", path)
 	}
-	line := func(label string, rep *core.Report) {
-		m := rep.Metrics
-		fmt.Fprintf(&b, "  %-10s speedup %6.2fx  kernel %6.2fx  energy %5.1f%%  area %7d gates  selected %d\n",
-			label, m.AppSpeedup, m.KernelSpeedup, 100*m.EnergySavings, m.AreaGates, len(rep.SelectedRegions()))
-	}
+	b.WriteString(core.RenderSweepHeader(mode, opts))
+	var pts []core.SweepPoint
 	switch mode {
 	case "devices":
-		fmt.Fprintf(&b, "area sweep (%s @ %.0f MHz, %s):\n", opts.Algorithm, opts.Platform.CPUMHz, "Virtex-II catalog")
-		for _, dev := range fpga.Catalog {
-			line(dev.Name, core.EvaluateScoped(a, platform.MIPS(opts.Platform.CPUMHz, dev), 0, opts.Algorithm, sc))
-		}
+		pts = core.DeviceSweepPoints(a, opts, sc)
 	case "clocks":
-		fmt.Fprintf(&b, "clock sweep (%s, %s):\n", opts.Algorithm, opts.Platform.Device.Name)
-		for _, mhz := range clocks {
-			label := fmt.Sprintf("%.0fMHz", mhz)
-			line(label, core.EvaluateScoped(a, platform.MIPS(mhz, opts.Platform.Device), 0, opts.Algorithm, sc))
-		}
+		pts = core.ClockSweepPoints(a, opts, clocks, sc)
+	}
+	for _, pt := range pts {
+		b.WriteString(pt.Text)
 	}
 	return b.String(), nil
 }
@@ -314,41 +307,7 @@ func partitionOne(path string, opts core.Options, caches *core.Caches,
 	if multi {
 		fmt.Fprintf(&b, "==> %s\n", path)
 	}
-	fmt.Fprintf(&b, "platform: %s\n", opts.Platform.Name)
-	fmt.Fprintf(&b, "software-only: %d cycles (%.3f ms), exit code %d\n",
-		rep.SWCycles, rep.Metrics.SWTimeS*1e3, rep.ExitCode)
-	fmt.Fprintf(&b, "recovery: %d functions, %d failed", rep.Recovery.FuncsRecovered, rep.Recovery.FuncsFailed)
-	for _, name := range sortedKeys(rep.Recovery.FailReasons) {
-		fmt.Fprintf(&b, "\n  %s: %s", name, rep.Recovery.FailReasons[name])
-	}
-	fmt.Fprintln(&b)
-	fmt.Fprintf(&b, "decompiler: %d loops rerolled, %d multiplies promoted, %d stack slots promoted, %d operators narrowed\n",
-		rep.Recovery.RerolledLoops, rep.Recovery.PromotedMultiplies,
-		rep.Recovery.StackSlotsPromoted, rep.Recovery.OpsNarrowed)
-
-	if structure {
-		fmt.Fprintf(&b, "\nrecovered structure:\n")
-		for _, name := range sortedKeys(rep.Outlines) {
-			fmt.Fprintln(&b, rep.Outlines[name])
-		}
-	}
-
-	fmt.Fprintf(&b, "\ncandidate regions:\n")
-	for _, r := range rep.Regions {
-		mark := " "
-		if r.Selected {
-			mark = fmt.Sprintf("*%d", r.Step)
-		}
-		fmt.Fprintf(&b, "  %-2s %-32s sw=%-9d hw=%-9.0f clk=%.1fns area=%-7d mem=%v\n",
-			mark, r.Name, r.SWCycles, r.HWCycles, r.HWClockNs, r.AreaGates, r.Footprint)
-	}
-
-	m := rep.Metrics
-	fmt.Fprintf(&b, "\npartition (%s, %v):\n", opts.Algorithm, rep.PartitionTime)
-	fmt.Fprintf(&b, "  application speedup: %.2fx\n", m.AppSpeedup)
-	fmt.Fprintf(&b, "  kernel speedup:      %.2fx\n", m.KernelSpeedup)
-	fmt.Fprintf(&b, "  energy savings:      %.1f%%\n", 100*m.EnergySavings)
-	fmt.Fprintf(&b, "  area:                %d equivalent gates\n", m.AreaGates)
+	b.WriteString(core.RenderReport(rep, structure))
 
 	if vhdlDir != "" {
 		files, err := rep.VHDL()
@@ -378,15 +337,6 @@ func partitionOne(path string, opts core.Options, caches *core.Caches,
 		}
 	}
 	return b.String(), nil
-}
-
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }
 
 func fatal(err error) {

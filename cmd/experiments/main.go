@@ -54,6 +54,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"binpart/internal/cache"
@@ -117,6 +118,14 @@ func main() {
 		return
 	}
 
+	// Signals are watched from the start of the run, not just in server
+	// mode: an unhandled SIGINT/SIGTERM mid-sweep would die by default
+	// termination and silently lose the partially written -trace and
+	// -manifest. The channel buffers two so a signal delivered before the
+	// handling goroutine starts is not dropped.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
 	parseMax := func() int64 {
 		if *cacheDirMax == "" {
 			return 0
@@ -157,12 +166,19 @@ func main() {
 				}
 			}
 		}
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
+		<-sigCh
 		stats, _ := json.Marshal(srv.Stats())
 		fmt.Fprintf(os.Stderr, "cache server stats: %s\n", stats)
 		srv.Close()
+		// The addr files exist so scripts can find the bound ports; a
+		// clean shutdown removes them so a stale file never points a
+		// later run at a dead server.
+		if *cacheAddrFile != "" {
+			os.Remove(*cacheAddrFile)
+		}
+		if *cacheMetricsAddrFile != "" {
+			os.Remove(*cacheMetricsAddrFile)
+		}
 		return
 	}
 
@@ -247,7 +263,7 @@ func main() {
 		rec.StreamTo(tw.Writer())
 	}
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr, obs.DebugSources{
+		dbg, err := obs.ServeDebug(*debugAddr, obs.DebugSources{
 			Rec:           rec,
 			Caches:        caches.StatsMap,
 			TierLatencies: caches.TierLatencyMap,
@@ -262,7 +278,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/vars (metrics on /metrics)\n", addr)
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/vars (metrics on /metrics)\n", dbg.Addr())
 	}
 
 	runner := exper.NewRunner(*workers, caches)
@@ -273,6 +290,21 @@ func main() {
 		os.Exit(1)
 	}
 	runner.Engine = eng
+
+	// First signal: cancel the sweep — queued points fail fast with
+	// ErrInterrupted, in-flight ones drain, and the tail below still
+	// flushes the trace and writes the manifest (marked interrupted)
+	// before exiting nonzero. Second signal: give up and exit hard.
+	var gotSig atomic.Value
+	go func() {
+		s := <-sigCh
+		gotSig.Store(s)
+		fmt.Fprintf(os.Stderr, "experiments: %v: cancelling run (trace/manifest will still flush; signal again to force exit)\n", s)
+		runner.Interrupt()
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "experiments: second signal: exiting immediately")
+		os.Exit(2)
+	}()
 
 	if *distShard != "" {
 		var k, m int
@@ -313,11 +345,19 @@ func main() {
 	}
 
 	all := *table == 0 && *figure == 0 && !*ablation && !*extension && *corpusN == 0 && !*engines
+	// A failure no longer exits on the spot: it skips the remaining
+	// experiments and falls through to the tail, so the trace and
+	// manifest always flush — the exit code is settled at the bottom.
+	failed := false
 	run := func(name string, f func() (fmt.Stringer, error)) {
+		if failed {
+			return
+		}
 		out, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			failed = true
+			return
 		}
 		fmt.Println(out)
 	}
@@ -347,45 +387,47 @@ func main() {
 	// Like the corpus, the ablation runs only when asked for: its table
 	// contains measured wall/CPU times, which would break the
 	// serial-vs-parallel byte-identity of the default full run.
-	if *engines {
-		abl, err := runner.EngineAblation()
-		if err != nil {
+	if *engines && !failed {
+		switch abl, err := runner.EngineAblation(); {
+		case err != nil:
 			fmt.Fprintf(os.Stderr, "engine ablation: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println(abl.Format())
-		if *fusionOut != "" {
-			if err := abl.WriteStats(*fusionOut); err != nil {
-				fmt.Fprintf(os.Stderr, "engine ablation stats: %v\n", err)
-				os.Exit(1)
+			failed = true
+		default:
+			fmt.Println(abl.Format())
+			if *fusionOut != "" {
+				if err := abl.WriteStats(*fusionOut); err != nil {
+					fmt.Fprintf(os.Stderr, "engine ablation stats: %v\n", err)
+					failed = true
+				}
 			}
-		}
-		// The ablation is a differential gate: any engine deviating from
-		// the reference stepper fails the run.
-		if !abl.Identical() {
-			fmt.Fprintln(os.Stderr, "engine ablation: engines are not bit-identical")
-			os.Exit(1)
+			// The ablation is a differential gate: any engine deviating from
+			// the reference stepper fails the run.
+			if !abl.Identical() {
+				fmt.Fprintln(os.Stderr, "engine ablation: engines are not bit-identical")
+				failed = true
+			}
 		}
 	}
-	if *corpusN > 0 {
-		corpus, err := runner.Corpus(*corpusN, *corpusSeed)
-		if err != nil {
+	if *corpusN > 0 && !failed {
+		switch corpus, err := runner.Corpus(*corpusN, *corpusSeed); {
+		case err != nil:
 			fmt.Fprintf(os.Stderr, "corpus: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println(corpus.Format())
-		if *corpusOut != "" {
-			if err := corpus.WriteSummary(*corpusOut); err != nil {
-				fmt.Fprintf(os.Stderr, "corpus summary: %v\n", err)
-				os.Exit(1)
+			failed = true
+		default:
+			fmt.Println(corpus.Format())
+			if *corpusOut != "" {
+				if err := corpus.WriteSummary(*corpusOut); err != nil {
+					fmt.Fprintf(os.Stderr, "corpus summary: %v\n", err)
+					failed = true
+				}
 			}
-		}
-		// A corpus invocation is a differential gate, not just a report:
-		// any mismatch or a recovery rate below 99% fails the run.
-		if s := corpus.Summary(); len(s.Mismatches) > 0 || s.RecoveryRate < 0.99 {
-			fmt.Fprintf(os.Stderr, "corpus: %d mismatches, recovery rate %.2f%%\n",
-				len(s.Mismatches), 100*s.RecoveryRate)
-			os.Exit(1)
+			// A corpus invocation is a differential gate, not just a report:
+			// any mismatch or a recovery rate below 99% fails the run.
+			if s := corpus.Summary(); len(s.Mismatches) > 0 || s.RecoveryRate < 0.99 {
+				fmt.Fprintf(os.Stderr, "corpus: %d mismatches, recovery rate %.2f%%\n",
+					len(s.Mismatches), 100*s.RecoveryRate)
+				failed = true
+			}
 		}
 	}
 
@@ -402,29 +444,44 @@ func main() {
 	if traceFile != nil {
 		// The accounting trailer lets any reader of this trace reconcile
 		// span outcomes against the cache counters — and is what the
-		// distributed merge sums across workers.
+		// distributed merge sums across workers. This flush runs even for
+		// a failed or interrupted sweep: a partial trace that reconciles
+		// is evidence, a vanished one is a bug.
 		rec.EmitCaches(caches.StatsMap())
 		if err := rec.Flush(); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			failed = true
 		}
 		if err := traceFile.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			failed = true
 		}
 	}
-	if *traceMerge != "" {
+	if *traceMerge != "" && !failed {
 		if err := writeMergedTrace(*traceMerge, rec, caches, workerTraces); err != nil {
 			fmt.Fprintf(os.Stderr, "trace-merge: %v\n", err)
-			os.Exit(1)
+			failed = true
 		}
 	}
 	if *manifestPath != "" {
 		m := obs.BuildManifest("experiments", os.Args[1:], *workers, rec, caches.StatsMap())
+		m.Interrupted = gotSig.Load() != nil
 		if err := m.Write(*manifestPath); err != nil {
 			fmt.Fprintf(os.Stderr, "manifest: %v\n", err)
-			os.Exit(1)
+			failed = true
 		}
+	}
+	// Exit code: 128+signum for a signal-cancelled run (the shell
+	// convention), 1 for any other failure, 0 only for a clean sweep.
+	if s := gotSig.Load(); s != nil {
+		code := 130
+		if sn, ok := s.(syscall.Signal); ok {
+			code = 128 + int(sn)
+		}
+		os.Exit(code)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

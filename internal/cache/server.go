@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -77,11 +78,12 @@ type ServerStats struct {
 // Start one with ListenAndServe (`cmd/experiments -cache-serve addr`);
 // shard a key space over several with RemoteTier's consistent hashing.
 type Server struct {
-	cfg       ServerConfig
-	ln        net.Listener
-	metricsLn net.Listener
-	mem       *MemTier
-	disk      *DiskStore
+	cfg        ServerConfig
+	ln         net.Listener
+	metricsLn  net.Listener
+	metricsSrv *http.Server
+	mem        *MemTier
+	disk       *DiskStore
 
 	mu     sync.Mutex
 	claims map[Key]*serverClaim
@@ -162,7 +164,19 @@ func NewServer(ln net.Listener, cfg ServerConfig) (*Server, error) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			s.WriteMetrics(w)
 		})
-		go http.Serve(mln, mux) //nolint:errcheck // torn down by Close
+		s.metricsSrv = &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       time.Minute,
+		}
+		// The serve goroutine joins the same WaitGroup as the protocol
+		// handlers, so Close's wg.Wait observes its exit — no goroutine
+		// outlives a returned Close.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.metricsSrv.Serve(mln) //nolint:errcheck // ErrServerClosed after Shutdown
+		}()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -251,20 +265,27 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	}
 }
 
-// Close stops the listener, unblocks every parked CLAIM, closes every
-// connection, and waits for the handlers to drain.
+// Close shuts the server down deterministically: stop accepting, unblock
+// every parked CLAIM, close every protocol connection, drain the metrics
+// sidecar (graceful with a short deadline, then hard), and wait for every
+// goroutine — accept loop, connection handlers, metrics serve loop — to
+// exit. When Close returns, nothing of the server is still running.
 func (s *Server) Close() error {
 	s.once.Do(func() {
 		close(s.closed)
 		s.ln.Close()
-		if s.metricsLn != nil {
-			s.metricsLn.Close()
-		}
 		s.mu.Lock()
 		for c := range s.conns {
 			c.Close()
 		}
 		s.mu.Unlock()
+		if s.metricsSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := s.metricsSrv.Shutdown(ctx); err != nil {
+				s.metricsSrv.Close() // a stuck scrape does not hold up exit
+			}
+			cancel()
+		}
 	})
 	s.wg.Wait()
 	return nil

@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerCloseDrainsEverything is the shutdown-ordering regression
+// test: after exercising every kind of server goroutine — protocol
+// connections, a parked CLAIM, the metrics sidecar — Close must return
+// with all of them gone. The assertion is goleak-style: the process
+// goroutine count returns to its pre-server baseline.
+func TestServerCloseDrainsEverything(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	srv, err := ListenAndServe("127.0.0.1:0", ServerConfig{
+		Dir:         t.TempDir(), // unbounded budget: no background eviction sweep
+		MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := NewRemoteTier([]string{srv.Addr()}, RemoteConfig{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	k := NewHasher("t").String("shutdown").Sum()
+	blob := Seal([]byte("payload"))
+	if err := rt.Put(k, blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.Get(k); !ok {
+		t.Fatal("get after put missed")
+	}
+
+	// Win a lease on an uncomputed key, then park a second client's CLAIM
+	// behind it: its connection handler blocks server-side exactly the way
+	// a crashed holder would leave it, and only Close may unblock it.
+	k2 := NewHasher("t").String("parked").Sum()
+	if _, res, err := rt.Claim(k2); err != nil || res != ClaimWon {
+		t.Fatalf("claim: res=%v err=%v", res, err)
+	}
+	rt2, err := NewRemoteTier([]string{srv.Addr()}, RemoteConfig{Timeout: 30 * time.Second, Lease: 25 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		rt2.Claim(k2) //nolint:errcheck // fails with "server closed" when Close unblocks it
+	}()
+	time.Sleep(100 * time.Millisecond) // let the CLAIM reach the server and park
+
+	// Scrape the sidecar mid-life. Keep-alives off: an idle pooled client
+	// connection would otherwise hold a server-side conn goroutine and
+	// make the leak assertion flaky for the wrong reason.
+	client := &http.Client{
+		Timeout:   5 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	resp, err := client.Get("http://" + srv.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "binpart_cache_server_gets_total") {
+		t.Errorf("metrics scrape missing server families:\n%s", body)
+	}
+
+	srv.Close()
+
+	select {
+	case <-parked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the parked CLAIM")
+	}
+	rt.Close()
+	rt2.Close()
+	client.CloseIdleConnections()
+
+	// Everything the server and clients spawned must be gone; poll
+	// briefly because client-side conn goroutines unwind asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine count %d never returned to baseline %d after Close:\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"binpart/internal/fpga"
+	"binpart/internal/obs"
+	"binpart/internal/platform"
+)
+
+// RenderReport renders a partition report in the canonical text form
+// shared by the bparts CLI and the bpartd daemon — the two surfaces must
+// stay byte-identical for the same inputs, which is why the rendering
+// lives here rather than in either command. With structure set, the
+// recovered control-structure outlines are included.
+func RenderReport(rep *Report, structure bool) string {
+	var b strings.Builder
+	opts := rep.Options
+	fmt.Fprintf(&b, "platform: %s\n", opts.Platform.Name)
+	fmt.Fprintf(&b, "software-only: %d cycles (%.3f ms), exit code %d\n",
+		rep.SWCycles, rep.Metrics.SWTimeS*1e3, rep.ExitCode)
+	fmt.Fprintf(&b, "recovery: %d functions, %d failed", rep.Recovery.FuncsRecovered, rep.Recovery.FuncsFailed)
+	for _, name := range renderKeys(rep.Recovery.FailReasons) {
+		fmt.Fprintf(&b, "\n  %s: %s", name, rep.Recovery.FailReasons[name])
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "decompiler: %d loops rerolled, %d multiplies promoted, %d stack slots promoted, %d operators narrowed\n",
+		rep.Recovery.RerolledLoops, rep.Recovery.PromotedMultiplies,
+		rep.Recovery.StackSlotsPromoted, rep.Recovery.OpsNarrowed)
+
+	if structure {
+		fmt.Fprintf(&b, "\nrecovered structure:\n")
+		for _, name := range renderKeys(rep.Outlines) {
+			fmt.Fprintln(&b, rep.Outlines[name])
+		}
+	}
+
+	fmt.Fprintf(&b, "\ncandidate regions:\n")
+	for _, r := range rep.Regions {
+		mark := " "
+		if r.Selected {
+			mark = fmt.Sprintf("*%d", r.Step)
+		}
+		fmt.Fprintf(&b, "  %-2s %-32s sw=%-9d hw=%-9.0f clk=%.1fns area=%-7d mem=%v\n",
+			mark, r.Name, r.SWCycles, r.HWCycles, r.HWClockNs, r.AreaGates, r.Footprint)
+	}
+
+	m := rep.Metrics
+	fmt.Fprintf(&b, "\npartition (%s, %v):\n", opts.Algorithm, rep.PartitionTime)
+	fmt.Fprintf(&b, "  application speedup: %.2fx\n", m.AppSpeedup)
+	fmt.Fprintf(&b, "  kernel speedup:      %.2fx\n", m.KernelSpeedup)
+	fmt.Fprintf(&b, "  energy savings:      %.1f%%\n", 100*m.EnergySavings)
+	fmt.Fprintf(&b, "  area:                %d equivalent gates\n", m.AreaGates)
+	return b.String()
+}
+
+// RenderSweepHeader renders the one-line sweep banner for mode
+// ("devices" or "clocks") under opts.
+func RenderSweepHeader(mode string, opts Options) string {
+	switch mode {
+	case "devices":
+		return fmt.Sprintf("area sweep (%s @ %.0f MHz, %s):\n", opts.Algorithm, opts.Platform.CPUMHz, "Virtex-II catalog")
+	case "clocks":
+		return fmt.Sprintf("clock sweep (%s, %s):\n", opts.Algorithm, opts.Platform.Device.Name)
+	}
+	return ""
+}
+
+// RenderSweepLine renders one priced sweep point.
+func RenderSweepLine(label string, rep *Report) string {
+	m := rep.Metrics
+	return fmt.Sprintf("  %-10s speedup %6.2fx  kernel %6.2fx  energy %5.1f%%  area %7d gates  selected %d\n",
+		label, m.AppSpeedup, m.KernelSpeedup, 100*m.EnergySavings, m.AreaGates, len(rep.SelectedRegions()))
+}
+
+// SweepPoint is one priced point of a sweep: its row label, the rendered
+// row, and the report it came from.
+type SweepPoint struct {
+	Label string
+	Text  string
+	Rep   *Report
+}
+
+// DeviceSweepPoints prices the analysis across the Virtex-II catalog at
+// the analysis clock, one point per device.
+func DeviceSweepPoints(a *Analysis, opts Options, sc *obs.Scope) []SweepPoint {
+	pts := make([]SweepPoint, 0, len(fpga.Catalog))
+	for _, dev := range fpga.Catalog {
+		rep := EvaluateScoped(a, platform.MIPS(opts.Platform.CPUMHz, dev), 0, opts.Algorithm, sc)
+		pts = append(pts, SweepPoint{Label: dev.Name, Text: RenderSweepLine(dev.Name, rep), Rep: rep})
+	}
+	return pts
+}
+
+// ClockSweepPoints prices the analysis at each CPU clock on the
+// analysis device, one point per clock.
+func ClockSweepPoints(a *Analysis, opts Options, clocks []float64, sc *obs.Scope) []SweepPoint {
+	pts := make([]SweepPoint, 0, len(clocks))
+	for _, mhz := range clocks {
+		label := fmt.Sprintf("%.0fMHz", mhz)
+		rep := EvaluateScoped(a, platform.MIPS(mhz, opts.Platform.Device), 0, opts.Algorithm, sc)
+		pts = append(pts, SweepPoint{Label: label, Text: RenderSweepLine(label, rep), Rep: rep})
+	}
+	return pts
+}
+
+// renderKeys orders a string-keyed map for deterministic rendering.
+func renderKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -93,6 +93,9 @@ func (r *Runner) Corpus(n int, baseSeed int64) (*Corpus, error) {
 		img  *binimg.Image
 	}
 	gens, err := fanOut(r.workers(), len(owned), func(w, oi int) (genPoint, error) {
+		if r.interrupted.Load() {
+			return genPoint{}, ErrInterrupted
+		}
 		i := owned[oi]
 		seed := baseSeed + int64(i)
 		lvl := i % 4
@@ -150,6 +153,9 @@ func (r *Runner) Corpus(n int, baseSeed int64) (*Corpus, error) {
 	}
 
 	pts, err := fanOut(r.workers(), len(owned), func(w, oi int) (CorpusPoint, error) {
+		if r.interrupted.Load() {
+			return CorpusPoint{}, ErrInterrupted
+		}
 		i := owned[oi]
 		seed := baseSeed + int64(i)
 		lvl := i % 4

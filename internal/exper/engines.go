@@ -62,6 +62,9 @@ func (r *Runner) EngineAblation() (*EngineAblation, error) {
 		}
 	}
 	imgs, err := fanOut(r.workers(), len(jobs), func(w, i int) (*binimg.Image, error) {
+		if r.interrupted.Load() {
+			return nil, ErrInterrupted
+		}
 		return r.compile(jobs[i], r.scope(jobs[i], w))
 	})
 	if err != nil {

@@ -43,7 +43,23 @@ type Runner struct {
 	// jobs it skipped, and the launcher re-runs the full sweep afterwards,
 	// served from the now-warm cache. ShardCount <= 1 disables sharding.
 	ShardIndex, ShardCount int
+
+	// interrupted, once set by Interrupt, makes every not-yet-started job
+	// fail fast with ErrInterrupted; in-flight jobs drain normally. That
+	// rides the fanOut abort machinery, so an interrupted sweep returns
+	// promptly with spans and cache counters intact for the trace flush.
+	interrupted atomic.Bool
 }
+
+// ErrInterrupted is the error every sweep returns once Interrupt has
+// been called — callers distinguish a cancelled run (flush partial
+// observability, exit on the signal path) from a genuine failure.
+var ErrInterrupted = errors.New("exper: run interrupted")
+
+// Interrupt cancels the runner: jobs not yet started fail with
+// ErrInterrupted, in-flight jobs complete. Safe from any goroutine
+// (it is called from signal handlers).
+func (r *Runner) Interrupt() { r.interrupted.Store(true) }
 
 // owns reports whether this runner's shard executes job i.
 func (r *Runner) owns(i int) bool {
@@ -164,6 +180,9 @@ func (r *Runner) scope(j rowJob, worker int) *obs.Scope {
 // order. Each job records a "job" span covering the whole sweep point.
 func (r *Runner) rows(jobs []rowJob) ([]Row, error) {
 	return fanOut(r.workers(), len(jobs), func(w, i int) (Row, error) {
+		if r.interrupted.Load() {
+			return Row{}, ErrInterrupted
+		}
 		if !r.owns(i) {
 			return Row{}, nil
 		}
@@ -181,6 +200,9 @@ func (r *Runner) rows(jobs []rowJob) ([]Row, error) {
 // fan the points over core.Evaluate, which costs microseconds per call.
 func (r *Runner) analyses(jobs []rowJob) ([]*core.Analysis, error) {
 	return fanOut(r.workers(), len(jobs), func(w, i int) (*core.Analysis, error) {
+		if r.interrupted.Load() {
+			return nil, ErrInterrupted
+		}
 		if !r.owns(i) {
 			return nil, nil // skipped by this shard; consumers tolerate nil
 		}

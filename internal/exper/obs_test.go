@@ -174,7 +174,7 @@ func TestMetricsScrapeDuringSweep(t *testing.T) {
 	r := NewRunner(8, caches)
 	r.Obs = obs.NewRecorder()
 
-	addr, err := obs.ServeDebug("127.0.0.1:0", obs.DebugSources{
+	dbg, err := obs.ServeDebug("127.0.0.1:0", obs.DebugSources{
 		Rec:           r.Obs,
 		Caches:        caches.StatsMap,
 		TierLatencies: caches.TierLatencyMap,
@@ -182,7 +182,8 @@ func TestMetricsScrapeDuringSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	url := "http://" + addr + "/metrics"
+	defer dbg.Close()
+	url := "http://" + dbg.Addr() + "/metrics"
 
 	scrape := func() string {
 		resp, err := http.Get(url)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"io"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"sync"
+	"time"
 
 	"binpart/internal/cache"
 	"binpart/internal/obs/hist"
@@ -22,6 +24,10 @@ type DebugSources struct {
 	Caches        func() map[string]cache.Stats
 	TierLatencies func() map[string]map[string]hist.Snapshot
 	Peers         func() []cache.PeerMetrics
+	// Extra, when set, is appended to the /metrics exposition after the
+	// standard families — how a front-end (the bpartd daemon) publishes
+	// its own counters through the shared ops surface.
+	Extra func(io.Writer)
 }
 
 // debugSources holds what the expvar callbacks read. Set by ServeDebug;
@@ -34,14 +40,27 @@ var debugSources struct {
 
 var publishOnce sync.Once
 
-// ServeDebug starts an HTTP listener for long sweeps: /debug/vars serves
-// expvar (including binpart.stages, the live per-stage span totals, and
-// binpart.caches, the live cache counters), /debug/pprof/* serves
-// net/pprof, and /metrics serves the Prometheus text exposition —
-// stage counters and latency summaries, per-tier cache latencies, and
-// per-peer remote wire metrics. Returns the bound address (useful with
-// ":0"); the listener runs until the process exits.
-func ServeDebug(addr string, src DebugSources) (string, error) {
+// DebugServer is the handle returned by ServeDebug: the ops listener on
+// a properly configured http.Server. Callers register extra routes with
+// Handle before traffic matters and tear the listener down with
+// Shutdown (drains in-flight scrapes) or Close (abrupt).
+type DebugServer struct {
+	addr string
+	mux  *http.ServeMux
+	srv  *http.Server
+	done chan struct{} // closed when the Serve goroutine returns
+}
+
+// ServeDebug starts an HTTP listener for long sweeps and daemons:
+// /debug/vars serves expvar (including binpart.stages, the live
+// per-stage span totals, and binpart.caches, the live cache counters),
+// /debug/pprof/* serves net/pprof, and /metrics serves the Prometheus
+// text exposition — stage counters and latency summaries, per-tier
+// cache latencies, per-peer remote wire metrics, and whatever
+// src.Extra appends. The listener runs on an http.Server with
+// read-header and idle timeouts so a slow or stalled client cannot
+// wedge it; stop it with Shutdown or Close on the returned handle.
+func ServeDebug(addr string, src DebugSources) (*DebugServer, error) {
 	debugSources.mu.Lock()
 	debugSources.src = src
 	debugSources.mu.Unlock()
@@ -67,15 +86,60 @@ func ServeDebug(addr string, src DebugSources) (string, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		WriteMetrics(w, currentSources())
+		s := currentSources()
+		WriteMetrics(w, s)
+		if s.Extra != nil {
+			s.Extra(w)
+		}
 	})
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	go http.Serve(ln, mux) //nolint:errcheck // debug listener lives until process exit
-	return ln.Addr().String(), nil
+	d := &DebugServer{
+		addr: ln.Addr().String(),
+		mux:  mux,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       time.Minute,
+		},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		d.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Shutdown/Close
+	}()
+	return d, nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.addr }
+
+// Handle registers an extra route on the ops mux — how bpartd mounts
+// /healthz and /readyz next to the shared /metrics and pprof surface.
+func (d *DebugServer) Handle(pattern string, h http.Handler) { d.mux.Handle(pattern, h) }
+
+// Shutdown stops accepting connections and drains in-flight requests,
+// then waits for the serve loop to exit.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	err := d.srv.Shutdown(ctx)
+	select {
+	case <-d.done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// Close tears the listener and all connections down immediately.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	<-d.done
+	return err
 }
 
 func currentSources() DebugSources {

@@ -30,6 +30,9 @@ type Manifest struct {
 	Spans   int                    `json:"spans"`
 	Stages  []StageTotal           `json:"stages,omitempty"`
 	Caches  map[string]cache.Stats `json:"caches,omitempty"`
+	// Interrupted marks a run cut short by a signal: the manifest and
+	// trace cover only the work that finished before the cancel.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // BuildManifest assembles a manifest from a finished run. rec may be nil

@@ -259,7 +259,7 @@ func TestServeDebug(t *testing.T) {
 	sp := rec.Scope("fir", 0, 0).Start(StageSim)
 	sp.End()
 
-	addr, err := ServeDebug("127.0.0.1:0", DebugSources{
+	dbg, err := ServeDebug("127.0.0.1:0", DebugSources{
 		Rec: rec,
 		Caches: func() map[string]cache.Stats {
 			return map[string]cache.Stats{"sim": {Hits: 7}}
@@ -278,6 +278,8 @@ func TestServeDebug(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer dbg.Close()
+	addr := dbg.Addr()
 	client := &http.Client{Timeout: 5 * time.Second}
 	resp, err := client.Get("http://" + addr + "/debug/vars")
 	if err != nil {
